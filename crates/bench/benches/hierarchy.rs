@@ -1,0 +1,85 @@
+//! Hierarchy-level benchmarks: per-reference simulation cost of the three
+//! organizations, and the cost of the V-R specific mechanisms (synonym
+//! resolution, context-switch marking, coherence snooping).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use vrcache::config::HierarchyConfig;
+use vrcache_sim::system::{HierarchyKind, System};
+use vrcache_trace::synth::{generate, WorkloadConfig};
+use vrcache_trace::trace::Trace;
+
+fn workload(total_refs: u64, cpus: u16, shared: f64, synonyms: f64, switches: u64) -> Trace {
+    generate(&WorkloadConfig {
+        total_refs,
+        cpus,
+        context_switches: switches,
+        p_shared: shared,
+        p_synonym_alias: synonyms,
+        ..WorkloadConfig::default()
+    })
+}
+
+fn paper_cfg() -> HierarchyConfig {
+    HierarchyConfig::direct_mapped(16 * 1024, 256 * 1024, 16).unwrap()
+}
+
+fn bench_organizations(c: &mut Criterion) {
+    let trace = workload(40_000, 4, 0.05, 0.1, 8);
+    let cfg = paper_cfg();
+    let mut group = c.benchmark_group("replay_40k_refs");
+    group.throughput(Throughput::Elements(40_000));
+    group.sample_size(10);
+    for kind in HierarchyKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut sys = System::new(kind, 4, &cfg);
+                black_box(sys.run_trace(&trace).expect("clean run"))
+            });
+        });
+    }
+    group.finish();
+}
+// HierarchyKind::ALL already includes the Goodman single-level scheme.
+
+fn bench_synonym_pressure(c: &mut Criterion) {
+    // Heavy aliasing stresses the sameset/move paths.
+    let trace = workload(40_000, 2, 0.4, 0.5, 0);
+    let cfg = paper_cfg();
+    let mut group = c.benchmark_group("synonym_pressure_40k");
+    group.throughput(Throughput::Elements(40_000));
+    group.sample_size(10);
+    group.bench_function("VR", |b| {
+        b.iter(|| {
+            let mut sys = System::new(HierarchyKind::Vr, 2, &cfg);
+            black_box(sys.run_trace(&trace).expect("clean run"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_context_switch_pressure(c: &mut Criterion) {
+    // Frequent switches stress the swapped-valid machinery.
+    let trace = workload(40_000, 2, 0.05, 0.1, 200);
+    let cfg = paper_cfg();
+    let mut group = c.benchmark_group("context_switch_pressure_40k");
+    group.throughput(Throughput::Elements(40_000));
+    group.sample_size(10);
+    for kind in [HierarchyKind::Vr, HierarchyKind::RrInclusive] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut sys = System::new(kind, 2, &cfg);
+                black_box(sys.run_trace(&trace).expect("clean run"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_organizations,
+    bench_synonym_pressure,
+    bench_context_switch_pressure
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! One benchmark per table/figure family: times the end-to-end
+//! regeneration of each artifact at a reduced trace scale. (`repro`
+//! regenerates the full-scale artifacts; these benches track the cost of
+//! the pipelines themselves.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use vrcache_bench::Artifact;
+use vrcache_sim::experiments::ExperimentCtx;
+
+const SCALE: f64 = 0.005;
+
+fn bench_artifact(c: &mut Criterion, artifact: Artifact, name: &str) {
+    let mut group = c.benchmark_group("artifacts");
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            // Fresh context per iteration: generation + simulation both
+            // count, as they do in the real reproduction run.
+            let mut ctx = ExperimentCtx::new(SCALE);
+            black_box(artifact.run(&mut ctx))
+        });
+    });
+    group.finish();
+}
+
+fn table1(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Table1, "table1_call_bursts");
+}
+
+fn table2(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Table2, "table2_write_intervals");
+}
+
+fn table3(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Table3, "table3_swapped_writebacks");
+}
+
+fn table5(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Table5, "table5_trace_characteristics");
+}
+
+fn table6(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Table6, "table6_hit_ratios");
+}
+
+fn table7(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Table7, "table7_small_l1_hit_ratios");
+}
+
+fn figures(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Fig6, "figs4_6_access_time_sweep");
+}
+
+fn tables_8_10(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Tables8To10, "tables8_10_split_id");
+}
+
+fn tables_11_13(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Tables11To13, "tables11_13_coherence");
+}
+
+fn inclusion(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Inclusion, "inclusion_invalidations");
+}
+
+fn ablations(c: &mut Criterion) {
+    bench_artifact(c, Artifact::Ablations, "ablations_wt_eagerflush");
+}
+
+criterion_group!(
+    benches,
+    table1,
+    table2,
+    table3,
+    table5,
+    table6,
+    table7,
+    figures,
+    tables_8_10,
+    tables_11_13,
+    inclusion,
+    ablations
+);
+criterion_main!(benches);

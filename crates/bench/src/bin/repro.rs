@@ -1,0 +1,66 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale S] [artifact ...]
+//!
+//!   --scale S   trace volume relative to the paper (default 1.0)
+//!   artifact    table1 table2 table3 table5 table6 table7
+//!               fig4 fig5 fig6 tables8-10 tables11-13 inclusion ablations scaling traffic goodman assoc protocols
+//!               (default: everything)
+//! ```
+
+use std::process::ExitCode;
+
+use vrcache_bench::Artifact;
+use vrcache_sim::experiments::ExperimentCtx;
+
+fn main() -> ExitCode {
+    let mut scale = 1.0_f64;
+    let mut artifacts: Vec<Artifact> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--scale needs a number in (0, 1]");
+                    return ExitCode::FAILURE;
+                };
+                scale = v;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--scale S] [artifact ...]\nartifacts: table1 table2 table3 \
+                     table5 table6 table7 fig4 fig5 fig6 tables8-10 tables11-13 inclusion ablations scaling traffic goodman assoc protocols"
+                );
+                return ExitCode::SUCCESS;
+            }
+            name => match Artifact::parse(name) {
+                Some(a) => artifacts.push(a),
+                None => {
+                    eprintln!("unknown artifact: {name}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    if !(scale > 0.0 && scale <= 1.0) {
+        eprintln!("scale must be in (0, 1], got {scale}");
+        return ExitCode::FAILURE;
+    }
+    if artifacts.is_empty() {
+        artifacts = Artifact::ALL.to_vec();
+    }
+
+    let mut ctx = ExperimentCtx::new(scale);
+    println!("# vrcache reproduction (scale {scale})\n");
+    for artifact in artifacts {
+        eprintln!("[repro] running {artifact:?} ...");
+        for table in artifact.run(&mut ctx) {
+            println!("{table}");
+        }
+        if let Some(chart) = artifact.chart(&mut ctx) {
+            println!("```text\n{chart}```\n");
+        }
+    }
+    ExitCode::SUCCESS
+}

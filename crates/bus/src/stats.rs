@@ -1,0 +1,152 @@
+//! Bus traffic statistics.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::txn::BusOp;
+
+/// Counters for traffic observed on the shared bus.
+///
+/// # Example
+///
+/// ```
+/// use vrcache_bus::stats::BusStats;
+/// use vrcache_bus::txn::BusOp;
+///
+/// let mut s = BusStats::default();
+/// s.record(BusOp::ReadMiss, true);
+/// s.record(BusOp::Invalidate, false);
+/// assert_eq!(s.count(BusOp::ReadMiss), 1);
+/// assert_eq!(s.total(), 2);
+/// assert_eq!(s.cache_supplied, 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusStats {
+    read_miss: u64,
+    invalidate: u64,
+    read_modified_write: u64,
+    write_back: u64,
+    update: u64,
+    /// Transactions whose data came from a foreign cache (dirty supply).
+    pub cache_supplied: u64,
+    /// Transactions whose data came from main memory.
+    pub memory_supplied: u64,
+}
+
+impl BusStats {
+    /// Records a transaction of kind `op`; `supplied_by_cache` says whether
+    /// a foreign cache supplied the data (only meaningful for data-carrying
+    /// transactions; pass `false` for pure invalidations and write-backs).
+    pub fn record(&mut self, op: BusOp, supplied_by_cache: bool) {
+        match op {
+            BusOp::ReadMiss => self.read_miss += 1,
+            BusOp::Invalidate => self.invalidate += 1,
+            BusOp::ReadModifiedWrite => self.read_modified_write += 1,
+            BusOp::WriteBack => self.write_back += 1,
+            BusOp::Update => self.update += 1,
+        }
+        if matches!(op, BusOp::ReadMiss | BusOp::ReadModifiedWrite) {
+            if supplied_by_cache {
+                self.cache_supplied += 1;
+            } else {
+                self.memory_supplied += 1;
+            }
+        }
+    }
+
+    /// Number of transactions of kind `op`.
+    pub fn count(&self, op: BusOp) -> u64 {
+        match op {
+            BusOp::ReadMiss => self.read_miss,
+            BusOp::Invalidate => self.invalidate,
+            BusOp::ReadModifiedWrite => self.read_modified_write,
+            BusOp::WriteBack => self.write_back,
+            BusOp::Update => self.update,
+        }
+    }
+
+    /// Total transactions of all kinds.
+    pub fn total(&self) -> u64 {
+        BusOp::ALL.iter().map(|op| self.count(*op)).sum()
+    }
+
+    /// Accumulates another statistics block into this one.
+    pub fn merge(&mut self, other: &BusStats) {
+        self.read_miss += other.read_miss;
+        self.invalidate += other.invalidate;
+        self.read_modified_write += other.read_modified_write;
+        self.write_back += other.write_back;
+        self.update += other.update;
+        self.cache_supplied += other.cache_supplied;
+        self.memory_supplied += other.memory_supplied;
+    }
+}
+
+impl fmt::Display for BusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bus: {} read-miss, {} inval, {} rmw, {} wb, {} upd ({} cache-supplied, {} memory-supplied)",
+            self.read_miss,
+            self.invalidate,
+            self.read_modified_write,
+            self.write_back,
+            self.update,
+            self.cache_supplied,
+            self.memory_supplied
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut s = BusStats::default();
+        s.record(BusOp::ReadMiss, false);
+        s.record(BusOp::ReadMiss, true);
+        s.record(BusOp::Invalidate, false);
+        s.record(BusOp::ReadModifiedWrite, false);
+        s.record(BusOp::WriteBack, false);
+        assert_eq!(s.count(BusOp::ReadMiss), 2);
+        assert_eq!(s.count(BusOp::Invalidate), 1);
+        assert_eq!(s.count(BusOp::ReadModifiedWrite), 1);
+        assert_eq!(s.count(BusOp::WriteBack), 1);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.cache_supplied, 1);
+        assert_eq!(s.memory_supplied, 2);
+    }
+
+    #[test]
+    fn invalidations_do_not_count_as_supplies() {
+        let mut s = BusStats::default();
+        s.record(BusOp::Invalidate, true);
+        assert_eq!(s.cache_supplied, 0);
+        assert_eq!(s.memory_supplied, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BusStats::default();
+        a.record(BusOp::ReadMiss, true);
+        let mut b = BusStats::default();
+        b.record(BusOp::WriteBack, false);
+        b.record(BusOp::ReadMiss, false);
+        a.merge(&b);
+        assert_eq!(a.count(BusOp::ReadMiss), 2);
+        assert_eq!(a.count(BusOp::WriteBack), 1);
+        assert_eq!(a.cache_supplied, 1);
+        assert_eq!(a.memory_supplied, 1);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let s = BusStats::default();
+        let text = s.to_string();
+        for needle in ["read-miss", "inval", "rmw", "wb", "upd"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Bus transaction types and snoop responses.
+//!
+//! All transactions carry *physical* block identifiers at second-level-cache
+//! granularity — the R-caches are the agents that sit on the bus; the
+//! virtually-addressed first level never sees the bus directly (that
+//! shielding is the point of the paper).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use vrcache_cache::geometry::BlockId;
+use vrcache_mem::access::CpuId;
+
+/// The kinds of bus transaction used by the paper's invalidation protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BusOp {
+    /// A read miss: fetch a block, other caches acknowledge sharing and a
+    /// dirty owner supplies the data.
+    ReadMiss,
+    /// Invalidate every other cached copy before a local write proceeds.
+    Invalidate,
+    /// A write miss: "treated as a read-miss followed by an invalidation".
+    ReadModifiedWrite,
+    /// A dirty block leaving a hierarchy updates main memory.
+    WriteBack,
+    /// Update-protocol write broadcast: sharers refresh their copies in
+    /// place instead of being invalidated (the paper: "our scheme will
+    /// also work for other protocols").
+    Update,
+}
+
+impl BusOp {
+    /// All transaction kinds, for iteration in statistics tables.
+    pub const ALL: [BusOp; 5] = [
+        BusOp::ReadMiss,
+        BusOp::Invalidate,
+        BusOp::ReadModifiedWrite,
+        BusOp::WriteBack,
+        BusOp::Update,
+    ];
+
+    /// True when foreign caches must search their tags and possibly
+    /// invalidate or supply data (everything except a plain write-back).
+    pub fn is_coherence_relevant(self) -> bool {
+        !matches!(self, BusOp::WriteBack)
+    }
+}
+
+impl fmt::Display for BusOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BusOp::ReadMiss => "read-miss",
+            BusOp::Invalidate => "invalidation",
+            BusOp::ReadModifiedWrite => "read-modified-write",
+            BusOp::WriteBack => "write-back",
+            BusOp::Update => "update",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One transaction on the shared bus.
+///
+/// # Example
+///
+/// ```
+/// use vrcache_bus::txn::{BusOp, BusTransaction};
+/// use vrcache_cache::geometry::BlockId;
+/// use vrcache_mem::access::CpuId;
+///
+/// let t = BusTransaction::new(BusOp::ReadMiss, CpuId::new(0), BlockId::new(0x40));
+/// assert!(t.op.is_coherence_relevant());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusTransaction {
+    /// What the transaction does.
+    pub op: BusOp,
+    /// The processor whose hierarchy issued it.
+    pub source: CpuId,
+    /// The physical block concerned, at L2-block granularity.
+    pub block: BlockId,
+    /// For [`BusOp::Update`]: the written L1-sized granule and its new data
+    /// version. `None` for every other operation.
+    pub update: Option<(BlockId, crate::oracle::Version)>,
+}
+
+impl BusTransaction {
+    /// Creates a transaction (no update payload).
+    pub fn new(op: BusOp, source: CpuId, block: BlockId) -> Self {
+        BusTransaction {
+            op,
+            source,
+            block,
+            update: None,
+        }
+    }
+
+    /// Creates an update-broadcast transaction.
+    pub fn update(
+        source: CpuId,
+        block: BlockId,
+        granule: BlockId,
+        version: crate::oracle::Version,
+    ) -> Self {
+        BusTransaction {
+            op: BusOp::Update,
+            source,
+            block,
+            update: Some((granule, version)),
+        }
+    }
+}
+
+impl fmt::Display for BusTransaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} of {} by {}", self.op, self.block, self.source)
+    }
+}
+
+/// What one foreign hierarchy reported back from snooping a transaction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnoopOutcome {
+    /// The snooper holds (or held) a valid copy: the requester's block state
+    /// becomes *shared* instead of *private*.
+    pub has_copy: bool,
+    /// The snooper supplied the (dirty) data and updated memory.
+    pub supplied_data: bool,
+    /// The snooper had to disturb its first-level cache (a flush or an
+    /// invalidation reached L1 or its write buffer) — the quantity counted
+    /// in the paper's Tables 11–13.
+    pub l1_messages: u32,
+}
+
+impl SnoopOutcome {
+    /// A snoop that found nothing.
+    pub const MISS: SnoopOutcome = SnoopOutcome {
+        has_copy: false,
+        supplied_data: false,
+        l1_messages: 0,
+    };
+
+    /// Folds another snooper's outcome into an aggregate.
+    pub fn merge(&mut self, other: SnoopOutcome) {
+        self.has_copy |= other.has_copy;
+        self.supplied_data |= other.supplied_data;
+        self.l1_messages += other.l1_messages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coherence_relevance() {
+        assert!(BusOp::ReadMiss.is_coherence_relevant());
+        assert!(BusOp::Invalidate.is_coherence_relevant());
+        assert!(BusOp::ReadModifiedWrite.is_coherence_relevant());
+        assert!(!BusOp::WriteBack.is_coherence_relevant());
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = BusTransaction::new(BusOp::Invalidate, CpuId::new(1), BlockId::new(2));
+        assert_eq!(t.to_string(), "invalidation of 0x2 by cpu1");
+        assert_eq!(BusOp::ReadModifiedWrite.to_string(), "read-modified-write");
+    }
+
+    #[test]
+    fn snoop_merge_aggregates() {
+        let mut agg = SnoopOutcome::MISS;
+        agg.merge(SnoopOutcome {
+            has_copy: true,
+            supplied_data: false,
+            l1_messages: 2,
+        });
+        agg.merge(SnoopOutcome::MISS);
+        agg.merge(SnoopOutcome {
+            has_copy: false,
+            supplied_data: true,
+            l1_messages: 1,
+        });
+        assert!(agg.has_copy);
+        assert!(agg.supplied_data);
+        assert_eq!(agg.l1_messages, 3);
+    }
+
+    #[test]
+    fn all_ops_enumerated() {
+        assert_eq!(BusOp::ALL.len(), 5);
+        assert!(BusOp::Update.is_coherence_relevant());
+        assert_eq!(BusOp::Update.to_string(), "update");
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-access-class cache statistics.
+//!
+//! The paper's Tables 8–10 break first-level hit ratios down by access class
+//! (data read / data write / instruction), so the statistics structure keeps
+//! separate hit/miss counters per [`AccessKind`] and derives the aggregate.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+pub use vrcache_mem::access::AccessKind;
+
+/// A hit/miss pair for one access class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// References that hit.
+    pub hits: u64,
+    /// References that missed.
+    pub misses: u64,
+}
+
+impl ClassStats {
+    /// Total references.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0,1]`; `1.0` with no references.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Accumulates another counter pair into this one.
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Hit/miss statistics broken down by access class.
+///
+/// # Example
+///
+/// ```
+/// use vrcache_cache::stats::{AccessKind, CacheStats};
+///
+/// let mut s = CacheStats::default();
+/// s.record(AccessKind::DataRead, true);
+/// s.record(AccessKind::DataRead, false);
+/// s.record(AccessKind::InstrFetch, true);
+/// assert_eq!(s.overall().total(), 3);
+/// assert!((s.class(AccessKind::DataRead).hit_ratio() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    read: ClassStats,
+    write: ClassStats,
+    instr: ClassStats,
+}
+
+impl CacheStats {
+    /// Records one reference of class `kind`; `hit` says whether it hit.
+    pub fn record(&mut self, kind: AccessKind, hit: bool) {
+        let c = self.class_mut(kind);
+        if hit {
+            c.hits += 1;
+        } else {
+            c.misses += 1;
+        }
+    }
+
+    /// The counters for one class.
+    pub fn class(&self, kind: AccessKind) -> &ClassStats {
+        match kind {
+            AccessKind::DataRead => &self.read,
+            AccessKind::DataWrite => &self.write,
+            AccessKind::InstrFetch => &self.instr,
+        }
+    }
+
+    fn class_mut(&mut self, kind: AccessKind) -> &mut ClassStats {
+        match kind {
+            AccessKind::DataRead => &mut self.read,
+            AccessKind::DataWrite => &mut self.write,
+            AccessKind::InstrFetch => &mut self.instr,
+        }
+    }
+
+    /// The aggregate over all classes.
+    pub fn overall(&self) -> ClassStats {
+        let mut all = ClassStats::default();
+        all.merge(&self.read);
+        all.merge(&self.write);
+        all.merge(&self.instr);
+        all
+    }
+
+    /// Accumulates another statistics block into this one. Useful when
+    /// summing split I- and D-cache statistics into the "overall" rows of
+    /// Tables 8–10.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.read.merge(&other.read);
+        self.write.merge(&other.write);
+        self.instr.merge(&other.instr);
+    }
+
+    /// Total hits across classes.
+    pub fn hits(&self) -> u64 {
+        self.overall().hits
+    }
+
+    /// Total misses across classes.
+    pub fn misses(&self) -> u64 {
+        self.overall().misses
+    }
+
+    /// Aggregate hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        self.overall().hit_ratio()
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read {:.4} ({}) | write {:.4} ({}) | instr {:.4} ({}) | overall {:.4} ({})",
+            self.read.hit_ratio(),
+            self.read.total(),
+            self.write.hit_ratio(),
+            self.write.total(),
+            self.instr.hit_ratio(),
+            self.instr.total(),
+            self.hit_ratio(),
+            self.overall().total(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_ratio_per_class() {
+        let mut s = CacheStats::default();
+        for _ in 0..3 {
+            s.record(AccessKind::DataWrite, true);
+        }
+        s.record(AccessKind::DataWrite, false);
+        assert_eq!(s.class(AccessKind::DataWrite).total(), 4);
+        assert!((s.class(AccessKind::DataWrite).hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(s.class(AccessKind::DataRead).total(), 0);
+        assert_eq!(s.class(AccessKind::DataRead).hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn overall_sums_classes() {
+        let mut s = CacheStats::default();
+        s.record(AccessKind::DataRead, true);
+        s.record(AccessKind::DataWrite, false);
+        s.record(AccessKind::InstrFetch, true);
+        let all = s.overall();
+        assert_eq!(all.hits, 2);
+        assert_eq!(all.misses, 1);
+        assert_eq!(s.hits(), 2);
+        assert_eq!(s.misses(), 1);
+        assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats::default();
+        a.record(AccessKind::DataRead, true);
+        let mut b = CacheStats::default();
+        b.record(AccessKind::DataRead, false);
+        b.record(AccessKind::InstrFetch, true);
+        a.merge(&b);
+        assert_eq!(a.class(AccessKind::DataRead).total(), 2);
+        assert_eq!(a.class(AccessKind::InstrFetch).hits, 1);
+    }
+
+    #[test]
+    fn display_contains_all_classes() {
+        let mut s = CacheStats::default();
+        s.record(AccessKind::DataRead, true);
+        let text = s.to_string();
+        assert!(text.contains("read"));
+        assert!(text.contains("write"));
+        assert!(text.contains("instr"));
+        assert!(text.contains("overall"));
+    }
+
+    #[test]
+    fn class_stats_merge() {
+        let mut a = ClassStats { hits: 1, misses: 2 };
+        a.merge(&ClassStats { hits: 3, misses: 4 });
+        assert_eq!(a, ClassStats { hits: 4, misses: 6 });
+    }
+}

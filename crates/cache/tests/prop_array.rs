@@ -1,0 +1,129 @@
+//! Model-based property tests: [`CacheArray`] against a naive reference
+//! model, for every replacement policy.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use vrcache_cache::array::CacheArray;
+use vrcache_cache::geometry::{BlockId, CacheGeometry};
+use vrcache_cache::replacement::ReplacementPolicy;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64),
+    Fill(u64, u32),
+    Invalidate(u64),
+}
+
+fn op_strategy(blocks: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..blocks, any::<u32>()).prop_map(|(b, m)| Op::Fill(b, m)),
+        (0..blocks).prop_map(Op::Lookup),
+        (0..blocks).prop_map(Op::Invalidate),
+    ]
+}
+
+fn policies() -> [ReplacementPolicy; 4] {
+    [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+        ReplacementPolicy::TreePlru,
+    ]
+}
+
+proptest! {
+    /// Whatever the policy does, the array must behave like a bounded map:
+    /// present blocks return their metadata, sets never exceed their
+    /// associativity, and evictions only ever remove blocks that were
+    /// present.
+    #[test]
+    fn array_is_a_bounded_map(
+        ops in proptest::collection::vec(op_strategy(64), 1..300),
+        policy_idx in 0usize..4,
+    ) {
+        let geo = CacheGeometry::new(256, 16, 2).unwrap(); // 8 sets x 2 ways
+        let policy = policies()[policy_idx];
+        let mut cache: CacheArray<u32> = CacheArray::new(geo, policy, 42);
+        // Reference model: block -> meta for blocks we believe cached.
+        let mut model: HashMap<u64, u32> = HashMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Lookup(b) => {
+                    let block = BlockId::new(*b);
+                    let got = cache.lookup(block).map(|l| l.meta);
+                    match model.get(b) {
+                        Some(m) => prop_assert_eq!(got, Some(*m), "present block lost"),
+                        None => prop_assert_eq!(got, None, "absent block found"),
+                    }
+                }
+                Op::Fill(b, m) => {
+                    let block = BlockId::new(*b);
+                    if model.contains_key(b) {
+                        // Fill of a present block is a caller bug; emulate
+                        // the caller updating in place instead.
+                        cache.peek_mut(block).unwrap().meta = *m;
+                        model.insert(*b, *m);
+                    } else {
+                        let out = cache.fill(block, *m, |_| true);
+                        if let Some(evicted) = out.evicted {
+                            let removed = model.remove(&evicted.block.raw());
+                            prop_assert_eq!(
+                                removed,
+                                Some(evicted.meta),
+                                "evicted line was not in the model"
+                            );
+                            // Victim must come from the same set.
+                            prop_assert_eq!(
+                                geo.set_of(evicted.block),
+                                geo.set_of(block),
+                                "victim from a different set"
+                            );
+                        }
+                        model.insert(*b, *m);
+                    }
+                }
+                Op::Invalidate(b) => {
+                    let got = cache.invalidate(BlockId::new(*b)).map(|l| l.meta);
+                    prop_assert_eq!(got, model.remove(b), "invalidate mismatch");
+                }
+            }
+            // Global occupancy agrees with the model.
+            prop_assert_eq!(cache.occupancy(), model.len());
+            // No set exceeds its associativity.
+            let mut per_set: HashMap<u64, u32> = HashMap::new();
+            for line in cache.iter() {
+                *per_set.entry(geo.set_of(line.block)).or_insert(0) += 1;
+            }
+            for (set, n) in per_set {
+                prop_assert!(n <= geo.assoc(), "set {set} holds {n} lines");
+            }
+        }
+    }
+
+    /// LRU never evicts the block that was touched most recently.
+    #[test]
+    fn lru_spares_the_most_recent(
+        touches in proptest::collection::vec(0u64..8, 1..60),
+    ) {
+        // Fully associative 4-way cache over 8 possible blocks.
+        let geo = CacheGeometry::new(64, 16, 4).unwrap();
+        let mut cache: CacheArray<()> = CacheArray::new(geo, ReplacementPolicy::Lru, 1);
+        let mut last_touched = None;
+        for b in &touches {
+            let block = BlockId::new(*b);
+            if cache.lookup(block).is_none() {
+                let out = cache.fill(block, (), |_| true);
+                if let (Some(evicted), Some(last)) = (out.evicted, last_touched) {
+                    prop_assert_ne!(
+                        evicted.block,
+                        BlockId::new(last),
+                        "evicted the most recently touched block"
+                    );
+                }
+            }
+            last_touched = Some(*b);
+        }
+    }
+}

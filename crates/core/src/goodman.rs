@@ -1,0 +1,525 @@
+//! A single-level dual-tag virtual cache — Goodman's scheme.
+//!
+//! The paper's introduction cites "dual tag sets, one virtual and one
+//! physical, for each cache entry" (Goodman, ASPLOS-II 1987; also the VMP
+//! design) as the existing way to build coherent virtual caches, and
+//! footnote 1 positions the V-R organization as *moving Goodman's real
+//! directory into the second-level cache*. This module implements the
+//! single-level scheme so the comparison can be measured rather than
+//! asserted:
+//!
+//! * one virtually-indexed cache per processor, each line carrying both a
+//!   virtual tag (the lookup key) and a physical tag (the *real
+//!   directory*, mirrored here as a reverse index),
+//! * the real directory snoops the bus and detects synonyms without
+//!   disturbing the virtual side unless an invalidation or flush is truly
+//!   required,
+//! * **no second level**: every miss is a bus transaction and every dirty
+//!   eviction a memory write-back — the memory-traffic and miss-latency
+//!   shortcoming the two-level organization fixes.
+//!
+//! Context switches use the same swapped-valid trick as the V-cache (the
+//! kindest possible reading of the single-level scheme), so the measured
+//! differences are attributable to the missing second level, not to a
+//! strawman flush policy.
+
+use std::collections::HashMap;
+
+use vrcache_bus::oracle::{CoherenceViolation, Version, VersionOracle};
+use vrcache_bus::txn::{BusOp, BusTransaction};
+use vrcache_cache::geometry::{BlockId, CacheGeometry};
+use vrcache_cache::stats::CacheStats;
+use vrcache_cache::write_buffer::WriteBufferStats;
+use vrcache_mem::access::CpuId;
+use vrcache_mem::addr::{Asid, Vpn};
+use vrcache_mem::tlb::Tlb;
+use vrcache_trace::record::MemAccess;
+
+use crate::bus_api::{BusRequest, SnoopReply, SystemBus};
+use crate::config::HierarchyConfig;
+use crate::events::HierarchyEvents;
+use crate::hierarchy::{AccessOutcome, CacheHierarchy, SynonymKind};
+use crate::vcache::{VCache, VMeta};
+
+/// Goodman-style single-level dual-tag virtual cache.
+///
+/// Uses the `l1` geometry of its [`HierarchyConfig`]; the `l2` geometry
+/// only defines the bus transaction granularity (shared with the other
+/// organizations on the same bus).
+#[derive(Debug, Clone)]
+pub struct GoodmanHierarchy {
+    cpu: CpuId,
+    l1: VCache,
+    /// The real directory: physical granule -> virtual block of the (sole)
+    /// cached copy. In hardware this is the second, physical tag store.
+    reverse: HashMap<BlockId, BlockId>,
+    tlb: Tlb,
+    events: HierarchyEvents,
+    granule_geo: CacheGeometry,
+    bus_geo: CacheGeometry,
+    page: vrcache_mem::page::PageSize,
+    /// Per-line exclusivity, tracked in the real directory's state bits.
+    private: HashMap<BlockId, bool>,
+    refs: u64,
+    last_wb_at: Option<u64>,
+}
+
+impl GoodmanHierarchy {
+    /// Builds the single-level hierarchy for `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for configurations the single-level scheme does not model
+    /// (split or write-through first level, non-default context-switch
+    /// policies) — it always uses a unified write-back cache with the
+    /// swapped-valid switch handling, the kindest reading of the scheme.
+    pub fn new(cpu: CpuId, cfg: &HierarchyConfig) -> Self {
+        assert_eq!(
+            cfg.l1_org,
+            crate::config::L1Organization::Unified,
+            "the single-level scheme models a unified cache"
+        );
+        assert_eq!(
+            cfg.l1_write_policy,
+            crate::config::L1WritePolicy::WriteBack,
+            "the single-level scheme models a write-back cache"
+        );
+        assert_eq!(
+            cfg.context_switch_policy,
+            crate::config::ContextSwitchPolicy::SwappedValid,
+            "the single-level scheme uses swapped-valid switch handling"
+        );
+        assert_eq!(
+            cfg.protocol,
+            crate::config::CoherenceProtocol::Invalidation,
+            "the single-level scheme implements the invalidation protocol only"
+        );
+        GoodmanHierarchy {
+            cpu,
+            l1: VCache::new(cfg.l1, cfg.l1_policy, cfg.seed ^ 0x9),
+            reverse: HashMap::new(),
+            tlb: Tlb::new(cfg.tlb),
+            events: HierarchyEvents::default(),
+            granule_geo: cfg.l1,
+            bus_geo: cfg.l2,
+            page: cfg.page,
+            private: HashMap::new(),
+            refs: 0,
+            last_wb_at: None,
+        }
+    }
+
+    /// The cache.
+    pub fn cache(&self) -> &VCache {
+        &self.l1
+    }
+
+    fn bus_block_of(&self, p1: BlockId) -> BlockId {
+        self.granule_geo.block_in(p1, &self.bus_geo)
+    }
+
+    fn granules_of(&self, bus_block: BlockId) -> Vec<BlockId> {
+        self.bus_geo
+            .subblocks_of(&self.granule_geo, bus_block)
+            .collect()
+    }
+
+    fn subblocks(&self) -> u32 {
+        self.bus_geo.subblocks_per_block(&self.granule_geo)
+    }
+
+    /// Retires an evicted line: dirty data goes straight to memory (there
+    /// is no second level to absorb it).
+    fn retire(&mut self, line: vrcache_cache::array::Line<VMeta>, bus: &mut dyn SystemBus) {
+        let p1 = line.meta.p_block;
+        self.reverse.remove(&p1);
+        self.private.remove(&p1);
+        if line.meta.dirty {
+            self.events.l1_writebacks += 1;
+            self.events.writeback_intervals.note_event();
+            if let Some(prev) = self.last_wb_at {
+                // Bulk retirement (e.g. a TLB shootdown) can retire several
+                // lines within one reference; clamp to the 1-based histogram.
+                self.events.writeback_intervals.record((self.refs - prev).max(1));
+            }
+            self.last_wb_at = Some(self.refs);
+            if line.meta.swapped {
+                self.events.swapped_writebacks += 1;
+            }
+            bus.issue(BusRequest::WriteBack {
+                block: self.bus_block_of(p1),
+                granules: vec![(p1, line.meta.version)],
+            });
+        }
+    }
+
+    fn obtain_write_permission(&mut self, p1: BlockId, bus: &mut dyn SystemBus) {
+        if !self.private.get(&p1).copied().unwrap_or(false) {
+            bus.issue(BusRequest::Invalidate {
+                block: self.bus_block_of(p1),
+            });
+            self.private.insert(p1, true);
+        }
+    }
+}
+
+impl CacheHierarchy for GoodmanHierarchy {
+    fn access(
+        &mut self,
+        access: &MemAccess,
+        bus: &mut dyn SystemBus,
+        oracle: &mut VersionOracle,
+    ) -> Result<AccessOutcome, CoherenceViolation> {
+        debug_assert_eq!(access.cpu, self.cpu);
+        self.refs += 1;
+        let vblock = self.granule_geo.block_of(access.vaddr.raw());
+        let p1 = self.granule_geo.block_of(access.paddr.raw());
+
+        // ---- virtual-tag lookup ----
+        if let Some(meta) = self.l1.lookup(vblock).map(|l| l.meta) {
+            debug_assert_eq!(meta.p_block, p1, "stale virtual mapping");
+            self.l1.stats_mut().record(access.kind, true);
+            if access.kind.is_write() {
+                if !meta.dirty {
+                    self.obtain_write_permission(p1, bus);
+                }
+                let v = oracle.on_write(self.cpu, p1);
+                let line = self.l1.peek_mut(vblock).expect("just hit");
+                line.meta.dirty = true;
+                line.meta.version = v;
+            } else {
+                oracle.check_read(self.cpu, p1, meta.version)?;
+            }
+            return Ok(AccessOutcome::hit_l1());
+        }
+        self.l1.stats_mut().record(access.kind, false);
+
+        // Translation (needed on every miss; Goodman also keeps the TLB off
+        // the hit path).
+        let vpn = self.page.vpn_of(access.vaddr);
+        let ppn = self.page.ppn_of(access.paddr);
+        let tlb_hit = self.tlb.lookup(access.asid, vpn).is_some();
+        if !tlb_hit {
+            self.events.tlb_misses += 1;
+            self.tlb.fill(access.asid, vpn, ppn);
+        }
+
+        if let Some(sw) = self.l1.take_swapped(vblock) {
+            self.retire(sw, bus);
+        }
+
+        // ---- real-directory lookup: synonym? ----
+        let synonym = if let Some(old_vblock) = self.reverse.get(&p1).copied() {
+            let same_set = self.l1.geometry().set_of(old_vblock)
+                == self.l1.geometry().set_of(vblock);
+            let old = self
+                .l1
+                .invalidate(old_vblock)
+                .expect("real directory points at a resident line");
+            debug_assert_eq!(old.meta.p_block, p1);
+            let out = self.l1.fill(
+                vblock,
+                VMeta {
+                    p_block: p1,
+                    dirty: old.meta.dirty,
+                    swapped: false,
+                    version: old.meta.version,
+                },
+            );
+            if let Some(victim) = out.evicted {
+                self.retire(victim, bus);
+            }
+            self.reverse.insert(p1, vblock);
+            if same_set {
+                self.events.synonym_sameset += 1;
+                Some(SynonymKind::SameSet)
+            } else {
+                self.events.synonym_move += 1;
+                Some(SynonymKind::Move)
+            }
+        } else {
+            // ---- true miss: fetch over the bus (no second level) ----
+            let request = if access.kind.is_write() {
+                BusRequest::ReadModifiedWrite {
+                    block: self.bus_block_of(p1),
+                    subblocks: self.subblocks(),
+                }
+            } else {
+                BusRequest::ReadMiss {
+                    block: self.bus_block_of(p1),
+                    subblocks: self.subblocks(),
+                }
+            };
+            let resp = bus.issue(request);
+            let si = self.bus_geo.subblock_index(&self.granule_geo, p1) as usize;
+            let version = resp.granule_versions[si];
+            let private = access.kind.is_write() || !resp.shared_elsewhere;
+            let out = self.l1.fill(
+                vblock,
+                VMeta {
+                    p_block: p1,
+                    dirty: false,
+                    swapped: false,
+                    version,
+                },
+            );
+            if let Some(victim) = out.evicted {
+                self.retire(victim, bus);
+            }
+            self.reverse.insert(p1, vblock);
+            self.private.insert(p1, private);
+            None
+        };
+
+        if access.kind.is_write() {
+            if synonym.is_some() {
+                self.obtain_write_permission(p1, bus);
+            }
+            let v = oracle.on_write(self.cpu, p1);
+            let line = self.l1.peek_mut(vblock).expect("just installed");
+            line.meta.dirty = true;
+            line.meta.version = v;
+            self.private.insert(p1, true);
+        } else {
+            let version = self.l1.peek(vblock).expect("just installed").meta.version;
+            oracle.check_read(self.cpu, p1, version)?;
+        }
+
+        Ok(AccessOutcome {
+            l1_hit: false,
+            l2_hit: Some(false), // there is no second level to hit
+            synonym,
+            tlb_hit: Some(tlb_hit),
+        })
+    }
+
+    fn context_switch(&mut self, _from: Asid, _to: Asid) {
+        self.events.context_switches += 1;
+        self.events.lines_swapped += self.l1.mark_all_swapped();
+    }
+
+    fn tlb_shootdown(&mut self, asid: Asid, vpn: Vpn, bus: &mut dyn SystemBus) -> u32 {
+        self.tlb.flush_asid_vpn(asid, vpn);
+        // Without a second level, the shot-down page's dirty lines must be
+        // written back to memory over the bus.
+        let blocks_per_page = self.page.bytes() / self.granule_geo.block_bytes();
+        let first_vblock = vpn.raw() * blocks_per_page;
+        let mut disturbed = 0;
+        for i in 0..blocks_per_page {
+            let key = BlockId::new(first_vblock + i);
+            if let Some(line) = self.l1.invalidate(key) {
+                disturbed += 1;
+                self.retire(line, bus);
+            }
+        }
+        disturbed
+    }
+
+    fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {
+        debug_assert_ne!(txn.source, self.cpu);
+        let mut reply = SnoopReply::default();
+        if txn.op == BusOp::WriteBack {
+            return reply;
+        }
+        if txn.op == BusOp::Update {
+            debug_assert!(false, "update protocol is a V-R-only configuration");
+            return reply;
+        }
+        let granules = self.granules_of(txn.block);
+        let mut supplied: Vec<(BlockId, Version)> = Vec::new();
+        for g in granules {
+            let Some(vblock) = self.reverse.get(&g).copied() else {
+                continue;
+            };
+            reply.has_copy = true;
+            match txn.op {
+                BusOp::ReadMiss => {
+                    self.private.insert(g, false);
+                    let line = self
+                        .l1
+                        .peek_mut(vblock)
+                        .expect("real directory points at a resident line");
+                    if line.meta.dirty {
+                        // flush(v): the only time the virtual side is
+                        // disturbed by a read.
+                        self.events.flush_v += 1;
+                        reply.l1_messages += 1;
+                        line.meta.dirty = false;
+                        supplied.push((g, line.meta.version));
+                    }
+                }
+                BusOp::Invalidate | BusOp::ReadModifiedWrite => {
+                    // RMW is read + invalidate; supply dirty data first.
+                    let line = self
+                        .l1
+                        .invalidate(vblock)
+                        .expect("real directory points at a resident line");
+                    if txn.op == BusOp::ReadModifiedWrite && line.meta.dirty {
+                        self.events.flush_v += 1;
+                        reply.l1_messages += 1;
+                        supplied.push((g, line.meta.version));
+                    }
+                    self.events.inval_v += 1;
+                    reply.l1_messages += 1;
+                    self.reverse.remove(&g);
+                    self.private.remove(&g);
+                }
+                BusOp::WriteBack | BusOp::Update => unreachable!("handled above"),
+            }
+        }
+        if !supplied.is_empty() {
+            reply.supplied = Some(supplied);
+        }
+        reply
+    }
+
+    fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    fn l1_stats(&self) -> CacheStats {
+        *self.l1.stats()
+    }
+
+    fn l1_split_stats(&self) -> Option<(CacheStats, CacheStats)> {
+        None
+    }
+
+    fn l2_stats(&self) -> CacheStats {
+        // No second level: zero lookups (hit_ratio() reports 1.0 on an
+        // empty record; the h2 term of the access-time equation is moot
+        // because every L1 miss pays the memory latency).
+        CacheStats::default()
+    }
+
+    fn events(&self) -> &HierarchyEvents {
+        &self.events
+    }
+
+    fn write_buffer_stats(&self) -> WriteBufferStats {
+        WriteBufferStats::default()
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // The real directory and the virtual tags must be a bijection.
+        for line in self.l1.iter() {
+            match self.reverse.get(&line.meta.p_block) {
+                Some(v) if *v == line.block => {}
+                Some(v) => {
+                    return Err(format!(
+                        "real directory maps {:?} to {:?}, cache holds it at {:?}",
+                        line.meta.p_block, v, line.block
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "cached block {:?} missing from the real directory",
+                        line.meta.p_block
+                    ));
+                }
+            }
+        }
+        if self.reverse.len() != self.l1.occupancy() {
+            return Err(format!(
+                "real directory has {} entries for {} cached lines",
+                self.reverse.len(),
+                self.l1.occupancy()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sys::LoopbackBus;
+    use vrcache_mem::access::AccessKind;
+    use vrcache_mem::addr::{PhysAddr, VirtAddr};
+
+    fn cfg() -> HierarchyConfig {
+        HierarchyConfig::direct_mapped(256, 4096, 16).unwrap()
+    }
+
+    struct Rig {
+        h: GoodmanHierarchy,
+        bus: LoopbackBus,
+        oracle: VersionOracle,
+    }
+
+    impl Rig {
+        fn new() -> Rig {
+            Rig {
+                h: GoodmanHierarchy::new(CpuId::new(0), &cfg()),
+                bus: LoopbackBus::new(),
+                oracle: VersionOracle::new(),
+            }
+        }
+
+        fn go(&mut self, kind: AccessKind, va: u64, pa: u64) -> AccessOutcome {
+            let out = self
+                .h
+                .access(
+                    &MemAccess {
+                        cpu: CpuId::new(0),
+                        asid: Asid::new(1),
+                        kind,
+                        vaddr: VirtAddr::new(va),
+                        paddr: PhysAddr::new(pa),
+                    },
+                    &mut self.bus,
+                    &mut self.oracle,
+                )
+                .unwrap();
+            self.h.check_invariants().unwrap();
+            out
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut r = Rig::new();
+        let out = r.go(AccessKind::DataRead, 0x1000, 0x9000);
+        assert!(!out.l1_hit);
+        assert_eq!(out.l2_hit, Some(false), "no second level exists");
+        assert!(r.go(AccessKind::DataRead, 0x1000, 0x9000).l1_hit);
+    }
+
+    #[test]
+    fn real_directory_resolves_synonyms_locally() {
+        let mut r = Rig::new();
+        r.go(AccessKind::DataWrite, 0x1000, 0x9000);
+        let fetches_before = r.bus.stats().total();
+        let out = r.go(AccessKind::DataRead, 0x2000, 0x9000);
+        assert!(out.synonym.is_some());
+        assert_eq!(
+            r.bus.stats().total(),
+            fetches_before,
+            "synonym resolution must not touch the bus"
+        );
+        // Single copy rule.
+        assert!(!r.go(AccessKind::DataRead, 0x1000, 0x9000).l1_hit);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_straight_to_memory() {
+        let mut r = Rig::new();
+        r.go(AccessKind::DataWrite, 0x1000, 0x9000);
+        r.go(AccessKind::DataRead, 0x1100, 0x9100); // same set, evicts
+        assert_eq!(r.h.events().l1_writebacks, 1);
+        assert_eq!(r.bus.stats().count(BusOp::WriteBack), 1);
+        // Data survives in memory.
+        let out = r.go(AccessKind::DataRead, 0x1000, 0x9000);
+        assert!(!out.l1_hit);
+    }
+
+    #[test]
+    fn context_switch_swaps_lines() {
+        let mut r = Rig::new();
+        r.go(AccessKind::DataWrite, 0x1000, 0x9000);
+        r.h.context_switch(Asid::new(1), Asid::new(2));
+        assert_eq!(r.h.events().lines_swapped, 1);
+        let out = r.go(AccessKind::DataRead, 0x1000, 0x9000);
+        assert!(!out.l1_hit, "swapped lines invisible");
+    }
+}

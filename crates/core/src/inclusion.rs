@@ -1,0 +1,112 @@
+//! The inclusion associativity bound of the paper's Section 2.
+//!
+//! To maintain inclusion under the replacement algorithm of Baer & Wang
+//! (*On the inclusion property for multi-level cache hierarchies*, ISCA
+//! 1988) — first level notifies, second level only evicts blocks absent
+//! from the first — the second-level set-associativity must satisfy
+//!
+//! ```text
+//! A2 >= size(1)/pagesize * B2/B1
+//! ```
+//!
+//! (under `S2 > S1`, `B2 >= B1`, `size(2) > size(1)`, `B1*S1 >= pagesize`).
+//! The paper's example: a 16K V-cache with 4K pages and `B2 = 4*B1` forces a
+//! 16-way R-cache — too strict to be practical, which motivates the relaxed
+//! rule (prefer inclusion-clear victims, otherwise invalidate the children)
+//! implemented by [`RCache`](crate::rcache::RCache).
+
+use vrcache_cache::geometry::CacheGeometry;
+use vrcache_mem::page::PageSize;
+
+/// The minimum second-level associativity that would make *strict*
+/// inclusion maintainable: `size(1)/pagesize * B2/B1`.
+///
+/// # Example
+///
+/// The paper's example configuration requires 16 ways:
+///
+/// ```
+/// use vrcache::inclusion::min_l2_assoc_for_inclusion;
+/// use vrcache_cache::geometry::CacheGeometry;
+/// use vrcache_mem::page::PageSize;
+///
+/// # fn main() -> Result<(), vrcache_mem::MemError> {
+/// let l1 = CacheGeometry::direct_mapped(16 * 1024, 16)?;
+/// let l2 = CacheGeometry::new(256 * 1024, 64, 16)?; // B2 = 4 * B1
+/// let a2 = min_l2_assoc_for_inclusion(&l1, &l2, PageSize::SIZE_4K);
+/// assert_eq!(a2, 16);
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_l2_assoc_for_inclusion(
+    l1: &CacheGeometry,
+    l2: &CacheGeometry,
+    page: PageSize,
+) -> u64 {
+    let size_ratio = l1.size_bytes().div_ceil(page.bytes());
+    let block_ratio = l2.block_bytes() / l1.block_bytes();
+    size_ratio * block_ratio
+}
+
+/// Checks whether the configured second-level associativity satisfies the
+/// strict-inclusion bound. When this returns `false`, inclusion is still
+/// maintained by the relaxed replacement rule, at the cost of occasional
+/// *inclusion invalidations* into the first level.
+pub fn satisfies_inclusion_bound(
+    l1: &CacheGeometry,
+    l2: &CacheGeometry,
+    page: PageSize,
+) -> bool {
+    // When the L1 fits within a page (B1*S1 <= pagesize), virtual and
+    // physical indexing agree and the earlier (ISCA'88) analysis applies:
+    // direct support suffices.
+    if l1.block_bytes() * l1.sets() <= page.bytes() {
+        return true;
+    }
+    u64::from(l2.assoc()) >= min_l2_assoc_for_inclusion(l1, l2, page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> PageSize {
+        PageSize::SIZE_4K
+    }
+
+    #[test]
+    fn paper_example_needs_16_ways() {
+        let l1 = CacheGeometry::direct_mapped(16 * 1024, 16).unwrap();
+        let l2 = CacheGeometry::new(256 * 1024, 64, 16).unwrap();
+        assert_eq!(min_l2_assoc_for_inclusion(&l1, &l2, page()), 16);
+        assert!(satisfies_inclusion_bound(&l1, &l2, page()));
+        let l2_8way = CacheGeometry::new(256 * 1024, 64, 8).unwrap();
+        assert!(!satisfies_inclusion_bound(&l1, &l2_8way, page()));
+    }
+
+    #[test]
+    fn equal_blocks_reduce_to_size_ratio() {
+        let l1 = CacheGeometry::direct_mapped(16 * 1024, 16).unwrap();
+        let l2 = CacheGeometry::direct_mapped(256 * 1024, 16).unwrap();
+        // 16K / 4K * 1 = 4 ways needed; direct-mapped L2 does not satisfy.
+        assert_eq!(min_l2_assoc_for_inclusion(&l1, &l2, page()), 4);
+        assert!(!satisfies_inclusion_bound(&l1, &l2, page()));
+    }
+
+    #[test]
+    fn small_l1_within_page_is_always_fine() {
+        // 2K direct-mapped with 16B blocks: B1*S1 = 2K <= 4K page.
+        let l1 = CacheGeometry::direct_mapped(2 * 1024, 16).unwrap();
+        let l2 = CacheGeometry::direct_mapped(64 * 1024, 16).unwrap();
+        assert!(satisfies_inclusion_bound(&l1, &l2, page()));
+    }
+
+    #[test]
+    fn bound_scales_with_block_ratio() {
+        let l1 = CacheGeometry::direct_mapped(8 * 1024, 16).unwrap();
+        let l2_b32 = CacheGeometry::new(128 * 1024, 32, 4).unwrap();
+        // 8K/4K * 32/16 = 4.
+        assert_eq!(min_l2_assoc_for_inclusion(&l1, &l2_b32, page()), 4);
+        assert!(satisfies_inclusion_bound(&l1, &l2_b32, page()));
+    }
+}

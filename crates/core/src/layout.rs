@@ -1,0 +1,184 @@
+//! Tag-store layout arithmetic (the paper's Figure 3).
+//!
+//! The linkage pointers of the V-R organization need surprisingly few bits:
+//!
+//! * the **r-pointer** stored in each V-cache entry is the low
+//!   `log2(R-cache-size / page-size)` bits of the physical page number —
+//!   together with the page offset it addresses the child's parent entry in
+//!   the R-cache without an address translation;
+//! * the **v-pointer** stored in each R-cache subentry is the low
+//!   `log2(V-cache-size / page-size)` bits of the virtual page number —
+//!   together with the page offset it addresses the child entry in the
+//!   V-cache.
+//!
+//! [`TagLayout::compute`] derives every field width of Figure 3 and the
+//! total tag-store overhead, and the simulator uses the same arithmetic to
+//! check that its full-precision links never carry information the real
+//! pointers could not.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use vrcache_cache::geometry::CacheGeometry;
+use vrcache_mem::page::PageSize;
+
+/// Field widths of the V-cache and R-cache tag entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagLayout {
+    /// Address width the layout was computed for.
+    pub addr_bits: u32,
+    /// V-cache virtual tag bits.
+    pub v_tag_bits: u32,
+    /// r-pointer bits: `log2(l2_size / page_size)`.
+    pub r_pointer_bits: u32,
+    /// R-cache physical tag bits.
+    pub r_tag_bits: u32,
+    /// v-pointer bits: `log2(l1_size / page_size)`.
+    pub v_pointer_bits: u32,
+    /// Subentries per R-cache tag entry (`B2/B1`).
+    pub subentries: u32,
+    /// Coherence state bits per R-cache entry.
+    pub state_bits: u32,
+}
+
+impl TagLayout {
+    /// Computes the layout for an `addr_bits`-bit machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caches are smaller than a page (the pointers would
+    /// have negative widths) or if the L2 block is smaller than the L1
+    /// block.
+    pub fn compute(
+        addr_bits: u32,
+        page: PageSize,
+        l1: &CacheGeometry,
+        l2: &CacheGeometry,
+    ) -> TagLayout {
+        assert!(
+            l1.size_bytes() >= page.bytes() && l2.size_bytes() >= page.bytes(),
+            "caches must be at least one page"
+        );
+        let v_index_bits = l1.block_bits() + l1.set_bits();
+        let r_index_bits = l2.block_bits() + l2.set_bits();
+        TagLayout {
+            addr_bits,
+            v_tag_bits: addr_bits - v_index_bits,
+            r_pointer_bits: (l2.size_bytes() / page.bytes()).trailing_zeros(),
+            r_tag_bits: addr_bits - r_index_bits,
+            v_pointer_bits: (l1.size_bytes() / page.bytes()).trailing_zeros(),
+            subentries: l2.subblocks_per_block(l1),
+            state_bits: 2,
+        }
+    }
+
+    /// Bits per V-cache tag entry: tag + r-pointer + dirty + valid +
+    /// swapped-valid.
+    pub fn v_entry_bits(&self) -> u32 {
+        self.v_tag_bits + self.r_pointer_bits + 3
+    }
+
+    /// Bits per R-cache tag entry: tag plus, per subentry, inclusion +
+    /// buffer + state + vdirty + rdirty + v-pointer.
+    pub fn r_entry_bits(&self) -> u32 {
+        self.r_tag_bits + self.subentries * (self.v_pointer_bits + self.state_bits + 4)
+    }
+
+    /// Total V-cache tag-store bits.
+    pub fn v_store_bits(&self, l1: &CacheGeometry) -> u64 {
+        u64::from(self.v_entry_bits()) * l1.blocks()
+    }
+
+    /// Total R-cache tag-store bits.
+    pub fn r_store_bits(&self, l2: &CacheGeometry) -> u64 {
+        u64::from(self.r_entry_bits()) * l2.blocks()
+    }
+}
+
+impl fmt::Display for TagLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "V entry: tag {} | r-ptr {} | d v sv (3)  //  R entry: tag {} | {} x (I B st{} vd rd v-ptr {})",
+            self.v_tag_bits,
+            self.r_pointer_bits,
+            self.r_tag_bits,
+            self.subentries,
+            self.state_bits,
+            self.v_pointer_bits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 3 example: 4K pages, 16K V-cache, 256K R-cache,
+    /// `B2 = 2 * B1`.
+    fn figure3() -> TagLayout {
+        let l1 = CacheGeometry::direct_mapped(16 * 1024, 16).unwrap();
+        let l2 = CacheGeometry::direct_mapped(256 * 1024, 32).unwrap();
+        TagLayout::compute(32, PageSize::SIZE_4K, &l1, &l2)
+    }
+
+    #[test]
+    fn figure3_pointer_widths() {
+        let t = figure3();
+        // log2(256K / 4K) = 6 r-pointer bits — matches Figure 3.
+        assert_eq!(t.r_pointer_bits, 6);
+        // log2(16K / 4K) = 2 v-pointer bits — matches Figure 3.
+        assert_eq!(t.v_pointer_bits, 2);
+        // B2 = 2*B1 gives two subentries — matches Figure 3.
+        assert_eq!(t.subentries, 2);
+    }
+
+    #[test]
+    fn figure3_tag_widths_follow_geometry() {
+        let t = figure3();
+        // 32-bit address, 16K direct-mapped, 16B blocks: 4+10 index bits.
+        assert_eq!(t.v_tag_bits, 18);
+        // 256K direct-mapped, 32B blocks: 5+13 index bits.
+        assert_eq!(t.r_tag_bits, 14);
+    }
+
+    #[test]
+    fn entry_bit_totals() {
+        let t = figure3();
+        assert_eq!(t.v_entry_bits(), 18 + 6 + 3);
+        assert_eq!(t.r_entry_bits(), 14 + 2 * (2 + 2 + 4));
+    }
+
+    #[test]
+    fn store_totals_scale_with_blocks() {
+        let l1 = CacheGeometry::direct_mapped(16 * 1024, 16).unwrap();
+        let l2 = CacheGeometry::direct_mapped(256 * 1024, 32).unwrap();
+        let t = TagLayout::compute(32, PageSize::SIZE_4K, &l1, &l2);
+        assert_eq!(t.v_store_bits(&l1), u64::from(t.v_entry_bits()) * 1024);
+        assert_eq!(t.r_store_bits(&l2), u64::from(t.r_entry_bits()) * 8192);
+    }
+
+    #[test]
+    fn pointer_bits_shrink_with_cache_size() {
+        let l1 = CacheGeometry::direct_mapped(4 * 1024, 16).unwrap();
+        let l2 = CacheGeometry::direct_mapped(64 * 1024, 16).unwrap();
+        let t = TagLayout::compute(32, PageSize::SIZE_4K, &l1, &l2);
+        assert_eq!(t.v_pointer_bits, 0, "a page-sized V-cache needs no pointer bits");
+        assert_eq!(t.r_pointer_bits, 4);
+        assert_eq!(t.subentries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn sub_page_cache_panics() {
+        let l1 = CacheGeometry::direct_mapped(1024, 16).unwrap();
+        let l2 = CacheGeometry::direct_mapped(64 * 1024, 16).unwrap();
+        let _ = TagLayout::compute(32, PageSize::SIZE_4K, &l1, &l2);
+    }
+
+    #[test]
+    fn display_mentions_fields() {
+        let s = figure3().to_string();
+        assert!(s.contains("r-ptr 6"));
+        assert!(s.contains("v-ptr 2"));
+    }
+}

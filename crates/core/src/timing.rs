@@ -1,0 +1,241 @@
+//! The paper's average-access-time model (Section 4, Figures 4–6).
+//!
+//! ```text
+//! T = h1*t1 + (1 - h1)*h2*t2 + (1 - h1)*(1 - h2)*tm
+//! ```
+//!
+//! where `h1`/`h2` are the level-1 and *local* level-2 hit ratios, `t1`/`t2`
+//! the level access times and `tm` the memory access time including bus
+//! overhead. The paper fixes `t2 = 4*t1` and sweeps a *slow-down percentage*
+//! applied to the first level of the R-R hierarchy (the cost of serializing
+//! a TLB before a physical L1); [`slowdown_sweep`] reproduces that sweep.
+
+use serde::{Deserialize, Serialize};
+
+/// Access times for the two levels and memory, in arbitrary units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessTimeModel {
+    /// First-level access time.
+    pub t1: f64,
+    /// Second-level access time.
+    pub t2: f64,
+    /// Memory access time including bus overhead.
+    pub tm: f64,
+}
+
+impl AccessTimeModel {
+    /// The paper's ratio: `t1 = 1`, `t2 = 4`, with memory at `tm = 16`.
+    pub const PAPER: AccessTimeModel = AccessTimeModel {
+        t1: 1.0,
+        t2: 4.0,
+        tm: 16.0,
+    };
+
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < t1 <= t2 <= tm`.
+    pub fn new(t1: f64, t2: f64, tm: f64) -> Self {
+        assert!(t1 > 0.0 && t1 <= t2 && t2 <= tm, "need 0 < t1 <= t2 <= tm");
+        AccessTimeModel { t1, t2, tm }
+    }
+
+    /// The average access time for level hit ratios `h1` and *local* `h2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a ratio is outside `[0, 1]`.
+    pub fn avg_access_time(&self, h1: f64, h2_local: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&h1), "h1 out of range: {h1}");
+        assert!((0.0..=1.0).contains(&h2_local), "h2 out of range: {h2_local}");
+        h1 * self.t1 + (1.0 - h1) * h2_local * self.t2 + (1.0 - h1) * (1.0 - h2_local) * self.tm
+    }
+
+    /// The model with the first-level access slowed by `percent`% (the
+    /// penalty Figures 4–6 apply to the R-R hierarchy's physical L1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is negative.
+    #[must_use]
+    pub fn with_l1_slowdown(&self, percent: f64) -> Self {
+        assert!(percent >= 0.0, "slow-down must be non-negative");
+        AccessTimeModel {
+            t1: self.t1 * (1.0 + percent / 100.0),
+            t2: self.t2,
+            tm: self.tm,
+        }
+    }
+}
+
+impl Default for AccessTimeModel {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// One point of a Figure 4–6 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// First-level R-cache slow-down percentage.
+    pub slowdown_pct: f64,
+    /// V-R hierarchy average access time (unaffected by the slow-down).
+    pub t_vr: f64,
+    /// R-R hierarchy average access time at this slow-down.
+    pub t_rr: f64,
+}
+
+impl SweepPoint {
+    /// `t_rr / t_vr`: above 1 means the V-R hierarchy is faster.
+    pub fn rr_over_vr(&self) -> f64 {
+        self.t_rr / self.t_vr
+    }
+}
+
+/// Sweeps the R-R first-level slow-down from 0 to `max_pct` percent in
+/// `steps` equal increments (inclusive of both ends), with V-R hit ratios
+/// `(h1_vr, h2_vr)` and R-R hit ratios `(h1_rr, h2_rr)` — exactly the curves
+/// of Figures 4–6.
+pub fn slowdown_sweep(
+    model: AccessTimeModel,
+    (h1_vr, h2_vr): (f64, f64),
+    (h1_rr, h2_rr): (f64, f64),
+    max_pct: f64,
+    steps: u32,
+) -> Vec<SweepPoint> {
+    let t_vr = model.avg_access_time(h1_vr, h2_vr);
+    (0..=steps)
+        .map(|i| {
+            let pct = max_pct * f64::from(i) / f64::from(steps);
+            let t_rr = model
+                .with_l1_slowdown(pct)
+                .avg_access_time(h1_rr, h2_rr);
+            SweepPoint {
+                slowdown_pct: pct,
+                t_vr,
+                t_rr,
+            }
+        })
+        .collect()
+}
+
+/// Finds the smallest slow-down percentage (within the sweep) at which the
+/// V-R hierarchy becomes at least as fast as the R-R hierarchy — the
+/// *cross-over* the paper reads off Figure 6 (~6% for abaqus).
+pub fn crossover_pct(points: &[SweepPoint]) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| p.t_vr <= p.t_rr)
+        .map(|p| p.slowdown_pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_l1_costs_t1() {
+        let m = AccessTimeModel::PAPER;
+        assert_eq!(m.avg_access_time(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn all_misses_cost_tm() {
+        let m = AccessTimeModel::PAPER;
+        assert_eq!(m.avg_access_time(0.0, 0.0), 16.0);
+    }
+
+    #[test]
+    fn l2_hits_cost_t2() {
+        let m = AccessTimeModel::PAPER;
+        assert_eq!(m.avg_access_time(0.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn paper_shape_mixed() {
+        let m = AccessTimeModel::PAPER;
+        // h1 = .95, h2 = .5: 0.95 + 0.05*0.5*4 + 0.05*0.5*16 = 1.45.
+        let t = m.avg_access_time(0.95, 0.5);
+        assert!((t - 1.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_scales_only_t1() {
+        let m = AccessTimeModel::PAPER.with_l1_slowdown(10.0);
+        assert!((m.t1 - 1.1).abs() < 1e-12);
+        assert_eq!(m.t2, 4.0);
+        assert_eq!(m.tm, 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "h1 out of range")]
+    fn bad_ratio_panics() {
+        AccessTimeModel::PAPER.avg_access_time(1.2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "t1 <= t2")]
+    fn bad_model_panics() {
+        let _ = AccessTimeModel::new(5.0, 4.0, 16.0);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_rr_time() {
+        let pts = slowdown_sweep(
+            AccessTimeModel::PAPER,
+            (0.95, 0.5),
+            (0.95, 0.5),
+            10.0,
+            10,
+        );
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].slowdown_pct, 0.0);
+        assert_eq!(pts[10].slowdown_pct, 10.0);
+        for w in pts.windows(2) {
+            assert!(w[1].t_rr > w[0].t_rr, "rr time must grow with slow-down");
+            assert_eq!(w[1].t_vr, w[0].t_vr, "vr time is flat");
+        }
+    }
+
+    #[test]
+    fn equal_ratios_cross_immediately() {
+        let pts = slowdown_sweep(
+            AccessTimeModel::PAPER,
+            (0.95, 0.5),
+            (0.95, 0.5),
+            10.0,
+            10,
+        );
+        assert_eq!(crossover_pct(&pts), Some(0.0));
+    }
+
+    #[test]
+    fn worse_vr_ratios_cross_later() {
+        // V-R has a slightly worse h1 (frequent context switches): it only
+        // wins once the R-R L1 is slowed enough.
+        let pts = slowdown_sweep(
+            AccessTimeModel::PAPER,
+            (0.888, 0.585),
+            (0.908, 0.498),
+            10.0,
+            100,
+        );
+        let x = crossover_pct(&pts).expect("must cross within 10%");
+        assert!(x > 2.0 && x < 10.0, "crossover at {x}%");
+        // Ratio helper sanity.
+        assert!(pts.last().unwrap().rr_over_vr() > 1.0);
+    }
+
+    #[test]
+    fn never_crossing_returns_none() {
+        let pts = slowdown_sweep(
+            AccessTimeModel::PAPER,
+            (0.5, 0.5),
+            (0.99, 0.99),
+            2.0,
+            10,
+        );
+        assert_eq!(crossover_pct(&pts), None);
+    }
+}

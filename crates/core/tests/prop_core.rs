@@ -1,0 +1,118 @@
+//! Property tests for the analytic pieces of the core crate: the
+//! access-time model, the tag layout and the inclusion bound.
+
+use proptest::prelude::*;
+use vrcache::inclusion::{min_l2_assoc_for_inclusion, satisfies_inclusion_bound};
+use vrcache::layout::TagLayout;
+use vrcache::timing::{crossover_pct, slowdown_sweep, AccessTimeModel};
+use vrcache_cache::geometry::CacheGeometry;
+use vrcache_mem::page::PageSize;
+
+fn ratio() -> impl Strategy<Value = f64> {
+    (0u32..=1000).prop_map(|v| f64::from(v) / 1000.0)
+}
+
+proptest! {
+    /// The access-time equation is bounded by its extremes and monotone:
+    /// better hit ratios never increase the average access time.
+    #[test]
+    fn access_time_bounded_and_monotone(h1 in ratio(), h2 in ratio(), dh in ratio()) {
+        let m = AccessTimeModel::PAPER;
+        let t = m.avg_access_time(h1, h2);
+        prop_assert!(t >= m.t1 - 1e-12 && t <= m.tm + 1e-12, "t = {t}");
+        // Raising h1 (towards 1) cannot slow the hierarchy down.
+        let h1_up = (h1 + dh * (1.0 - h1)).min(1.0);
+        prop_assert!(m.avg_access_time(h1_up, h2) <= t + 1e-12);
+        // Raising h2 cannot slow it down either (t2 < tm).
+        let h2_up = (h2 + dh * (1.0 - h2)).min(1.0);
+        prop_assert!(m.avg_access_time(h1, h2_up) <= t + 1e-12);
+    }
+
+    /// A sweep's cross-over, when it exists, is a fixed point: before it
+    /// the R-R side is strictly faster, from it on the V-R side is at
+    /// least as fast.
+    #[test]
+    fn crossover_separates_the_sweep(
+        h1v in ratio(), h2v in ratio(),
+        h1r in ratio(), h2r in ratio(),
+    ) {
+        let pts = slowdown_sweep(AccessTimeModel::PAPER, (h1v, h2v), (h1r, h2r), 10.0, 50);
+        match crossover_pct(&pts) {
+            Some(x) => {
+                for p in &pts {
+                    if p.slowdown_pct < x {
+                        prop_assert!(p.t_vr > p.t_rr);
+                    } else {
+                        prop_assert!(p.t_vr <= p.t_rr + 1e-12);
+                    }
+                }
+            }
+            None => {
+                for p in &pts {
+                    prop_assert!(p.t_vr > p.t_rr);
+                }
+            }
+        }
+    }
+
+    /// Tag-layout arithmetic: the pointer widths plus the page bits always
+    /// reconstruct the cache index exactly, and entry sizes are positive
+    /// and consistent with the store totals.
+    #[test]
+    fn layout_arithmetic_consistent(
+        l1_shift in 12u32..16, // 4K..32K
+        l2_shift in 16u32..20, // 64K..512K
+        block_shift in 4u32..6,
+        l2_block_extra in 0u32..2,
+    ) {
+        let l1 = CacheGeometry::direct_mapped(1 << l1_shift, 1 << block_shift).unwrap();
+        let l2 = CacheGeometry::direct_mapped(
+            1 << l2_shift,
+            1 << (block_shift + l2_block_extra),
+        )
+        .unwrap();
+        let page = PageSize::SIZE_4K;
+        let t = TagLayout::compute(32, page, &l1, &l2);
+        // Pointer widths are exactly the size/page logs.
+        prop_assert_eq!(t.r_pointer_bits, l2_shift - 12);
+        prop_assert_eq!(t.v_pointer_bits, l1_shift - 12);
+        // v-pointer + page bits cover the whole V-cache index:
+        prop_assert_eq!(
+            t.v_pointer_bits + 12,
+            l1.block_bits() + l1.set_bits(),
+            "v-pointer + page offset must address the V-cache"
+        );
+        prop_assert_eq!(
+            t.r_pointer_bits + 12,
+            l2.block_bits() + l2.set_bits(),
+            "r-pointer + page offset must address the R-cache"
+        );
+        prop_assert_eq!(t.subentries, 1 << l2_block_extra);
+        prop_assert!(t.v_entry_bits() > 0 && t.r_entry_bits() > 0);
+        prop_assert_eq!(t.v_store_bits(&l1), u64::from(t.v_entry_bits()) * l1.blocks());
+    }
+
+    /// The inclusion bound is monotone: growing the first level or the
+    /// second-level block ratio never lowers the required associativity,
+    /// and meeting the bound is equivalent to `satisfies_inclusion_bound`
+    /// for super-page caches.
+    #[test]
+    fn inclusion_bound_monotone(
+        l1_shift in 13u32..16,
+        ratio_shift in 0u32..3,
+        assoc_shift in 0u32..6,
+    ) {
+        let page = PageSize::SIZE_4K;
+        let l1 = CacheGeometry::direct_mapped(1 << l1_shift, 16).unwrap();
+        let l1_bigger = CacheGeometry::direct_mapped(1 << (l1_shift + 1), 16).unwrap();
+        let l2 = CacheGeometry::new(512 * 1024, 16 << ratio_shift, 1 << assoc_shift).unwrap();
+        let need = min_l2_assoc_for_inclusion(&l1, &l2, page);
+        let need_bigger = min_l2_assoc_for_inclusion(&l1_bigger, &l2, page);
+        prop_assert!(need_bigger >= need);
+        prop_assert_eq!(need, (1u64 << (l1_shift - 12)) * (1 << ratio_shift));
+        prop_assert_eq!(
+            satisfies_inclusion_bound(&l1, &l2, page),
+            u64::from(l2.assoc()) >= need
+        );
+    }
+}

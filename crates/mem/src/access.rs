@@ -1,0 +1,157 @@
+//! Shared reference vocabulary: access kinds and CPU identifiers.
+//!
+//! These types are used by every layer — trace records, cache statistics,
+//! bus transactions — so they live here in the vocabulary crate.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// The class of a memory reference.
+///
+/// The paper's Tables 8–10 report first-level hit ratios separately for data
+/// reads, data writes and instruction fetches, so the distinction is carried
+/// end-to-end from the trace to the statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    InstrFetch,
+    /// Data load.
+    DataRead,
+    /// Data store.
+    DataWrite,
+}
+
+impl AccessKind {
+    /// All access kinds, in the order used by the paper's tables.
+    pub const ALL: [AccessKind; 3] = [
+        AccessKind::DataRead,
+        AccessKind::DataWrite,
+        AccessKind::InstrFetch,
+    ];
+
+    /// True for [`AccessKind::DataWrite`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::DataWrite)
+    }
+
+    /// True for [`AccessKind::InstrFetch`].
+    #[inline]
+    pub fn is_instruction(self) -> bool {
+        matches!(self, AccessKind::InstrFetch)
+    }
+
+    /// True for [`AccessKind::DataRead`] or [`AccessKind::DataWrite`].
+    #[inline]
+    pub fn is_data(self) -> bool {
+        !self.is_instruction()
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::InstrFetch => "instruction",
+            AccessKind::DataRead => "data read",
+            AccessKind::DataWrite => "data write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of one processor in the shared-bus multiprocessor.
+///
+/// # Example
+///
+/// ```
+/// use vrcache_mem::access::CpuId;
+/// let cpu = CpuId::new(2);
+/// assert_eq!(cpu.index(), 2);
+/// assert_eq!(cpu.to_string(), "cpu2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct CpuId(u16);
+
+impl CpuId {
+    /// Wraps a raw CPU index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        CpuId(index)
+    }
+
+    /// The raw index as `usize`, for indexing per-CPU arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw index.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CpuId({})", self.0)
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+impl From<u16> for CpuId {
+    fn from(raw: u16) -> Self {
+        CpuId(raw)
+    }
+}
+
+impl From<CpuId> for u16 {
+    fn from(c: CpuId) -> u16 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_helpers() {
+        assert!(AccessKind::DataWrite.is_write());
+        assert!(!AccessKind::DataRead.is_write());
+        assert!(AccessKind::InstrFetch.is_instruction());
+        assert!(AccessKind::DataRead.is_data());
+        assert!(AccessKind::DataWrite.is_data());
+        assert!(!AccessKind::InstrFetch.is_data());
+        assert_eq!(AccessKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn access_kind_display() {
+        assert_eq!(AccessKind::DataRead.to_string(), "data read");
+        assert_eq!(AccessKind::DataWrite.to_string(), "data write");
+        assert_eq!(AccessKind::InstrFetch.to_string(), "instruction");
+    }
+
+    #[test]
+    fn cpu_id_round_trip() {
+        let c = CpuId::new(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(c.raw(), 3);
+        assert_eq!(u16::from(c), 3);
+        assert_eq!(CpuId::from(3u16), c);
+        assert_eq!(format!("{c:?}"), "CpuId(3)");
+        assert_eq!(c.to_string(), "cpu3");
+    }
+
+    #[test]
+    fn cpu_id_orders() {
+        assert!(CpuId::new(0) < CpuId::new(1));
+        assert_eq!(CpuId::default(), CpuId::new(0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the memory substrate.
+
+use core::fmt;
+
+/// Errors produced while configuring or operating the memory substrate.
+///
+/// # Example
+///
+/// ```
+/// use vrcache_mem::page::PageSize;
+/// use vrcache_mem::MemError;
+///
+/// let err = PageSize::new(3000).unwrap_err();
+/// assert!(matches!(err, MemError::NotPowerOfTwo { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// A size parameter that must be a power of two was not.
+    NotPowerOfTwo {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// A size parameter was zero.
+    Zero {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+    /// A size parameter was below a required minimum.
+    TooSmall {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: u64,
+        /// The smallest accepted value.
+        min: u64,
+    },
+    /// A virtual page was already mapped for the given address space.
+    AlreadyMapped,
+    /// A translation was requested for an unmapped virtual page.
+    Unmapped,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            MemError::Zero { what } => write!(f, "{what} must be nonzero"),
+            MemError::TooSmall { what, value, min } => {
+                write!(f, "{what} must be at least {min}, got {value}")
+            }
+            MemError::AlreadyMapped => write!(f, "virtual page is already mapped"),
+            MemError::Unmapped => write!(f, "virtual page is not mapped"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MemError::NotPowerOfTwo {
+            what: "page size",
+            value: 3000,
+        };
+        assert_eq!(e.to_string(), "page size must be a power of two, got 3000");
+        let e = MemError::Zero { what: "page size" };
+        assert_eq!(e.to_string(), "page size must be nonzero");
+        let e = MemError::TooSmall {
+            what: "page size",
+            value: 2,
+            min: 8,
+        };
+        assert_eq!(e.to_string(), "page size must be at least 8, got 2");
+        assert_eq!(MemError::AlreadyMapped.to_string(), "virtual page is already mapped");
+        assert_eq!(MemError::Unmapped.to_string(), "virtual page is not mapped");
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<MemError>();
+    }
+}

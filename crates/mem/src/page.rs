@@ -1,0 +1,215 @@
+//! Page geometry: power-of-two page sizes and the page-number/offset split.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{PhysAddr, Ppn, VirtAddr, Vpn};
+use crate::error::MemError;
+
+/// A validated, power-of-two page size.
+///
+/// Every address in the simulator splits into a page number (the high bits)
+/// and a page offset (the low bits). The split is identical for virtual and
+/// physical addresses, which is what makes the paper's *r-pointer* /
+/// *v-pointer* linkage work: a pointer only needs to carry the low bits of
+/// the *page number*, the page offset being shared between the two views of
+/// the block.
+///
+/// # Example
+///
+/// ```
+/// use vrcache_mem::page::PageSize;
+/// use vrcache_mem::addr::VirtAddr;
+///
+/// # fn main() -> Result<(), vrcache_mem::MemError> {
+/// let page = PageSize::new(4096)?;
+/// assert_eq!(page.bits(), 12);
+/// let va = VirtAddr::new(0x1_2345);
+/// assert_eq!(page.vpn_of(va).raw(), 0x12);
+/// assert_eq!(page.offset_of(va.raw()), 0x345);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageSize {
+    bytes: u64,
+}
+
+impl PageSize {
+    /// The conventional 4 KiB page used throughout the paper's evaluation.
+    pub const SIZE_4K: PageSize = PageSize { bytes: 4096 };
+
+    /// Creates a page size of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Zero`] for zero, [`MemError::NotPowerOfTwo`] for a
+    /// non-power-of-two value, and [`MemError::TooSmall`] for pages smaller
+    /// than 16 bytes (a page must hold at least one cache block).
+    pub fn new(bytes: u64) -> Result<Self, MemError> {
+        if bytes == 0 {
+            return Err(MemError::Zero { what: "page size" });
+        }
+        if !bytes.is_power_of_two() {
+            return Err(MemError::NotPowerOfTwo {
+                what: "page size",
+                value: bytes,
+            });
+        }
+        if bytes < 16 {
+            return Err(MemError::TooSmall {
+                what: "page size",
+                value: bytes,
+                min: 16,
+            });
+        }
+        Ok(PageSize { bytes })
+    }
+
+    /// The page size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.bytes
+    }
+
+    /// The number of page-offset bits, i.e. `log2(bytes)`.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.bytes.trailing_zeros()
+    }
+
+    /// Extracts the page offset of a raw address.
+    #[inline]
+    pub const fn offset_of(self, raw: u64) -> u64 {
+        raw & (self.bytes - 1)
+    }
+
+    /// Extracts the virtual page number of a virtual address.
+    #[inline]
+    pub fn vpn_of(self, va: VirtAddr) -> Vpn {
+        Vpn::new(va.raw() >> self.bits())
+    }
+
+    /// Extracts the physical page number of a physical address.
+    #[inline]
+    pub fn ppn_of(self, pa: PhysAddr) -> Ppn {
+        Ppn::new(pa.raw() >> self.bits())
+    }
+
+    /// Reassembles a virtual address from a page number and an offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset` does not fit in the page.
+    #[inline]
+    pub fn virt_addr(self, vpn: Vpn, offset: u64) -> VirtAddr {
+        debug_assert!(offset < self.bytes, "offset {offset} exceeds page");
+        VirtAddr::new((vpn.raw() << self.bits()) | offset)
+    }
+
+    /// Reassembles a physical address from a page number and an offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset` does not fit in the page.
+    #[inline]
+    pub fn phys_addr(self, ppn: Ppn, offset: u64) -> PhysAddr {
+        debug_assert!(offset < self.bytes, "offset {offset} exceeds page");
+        PhysAddr::new((ppn.raw() << self.bits()) | offset)
+    }
+
+    /// Translates a virtual address to the physical address within `ppn`,
+    /// preserving the page offset.
+    #[inline]
+    pub fn rebase(self, va: VirtAddr, ppn: Ppn) -> PhysAddr {
+        self.phys_addr(ppn, self.offset_of(va.raw()))
+    }
+}
+
+impl Default for PageSize {
+    /// Returns [`PageSize::SIZE_4K`], the page size used by the paper.
+    fn default() -> Self {
+        Self::SIZE_4K
+    }
+}
+
+impl fmt::Debug for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageSize({} B)", self.bytes)
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bytes.is_multiple_of(1024) {
+            write!(f, "{}K", self.bytes / 1024)
+        } else {
+            write!(f, "{}B", self.bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert_eq!(PageSize::new(0).unwrap_err(), MemError::Zero { what: "page size" });
+        assert!(matches!(
+            PageSize::new(3000),
+            Err(MemError::NotPowerOfTwo { value: 3000, .. })
+        ));
+        assert!(matches!(PageSize::new(8), Err(MemError::TooSmall { .. })));
+    }
+
+    #[test]
+    fn accepts_powers_of_two() {
+        for shift in 4..20 {
+            let size = 1_u64 << shift;
+            let page = PageSize::new(size).unwrap();
+            assert_eq!(page.bytes(), size);
+            assert_eq!(page.bits(), shift);
+        }
+    }
+
+    #[test]
+    fn split_and_reassemble_virtual() {
+        let page = PageSize::new(4096).unwrap();
+        let va = VirtAddr::new(0xabc_def0);
+        let vpn = page.vpn_of(va);
+        let off = page.offset_of(va.raw());
+        assert_eq!(page.virt_addr(vpn, off), va);
+    }
+
+    #[test]
+    fn split_and_reassemble_physical() {
+        let page = PageSize::new(8192).unwrap();
+        let pa = PhysAddr::new(0x1234_5678);
+        let ppn = page.ppn_of(pa);
+        let off = page.offset_of(pa.raw());
+        assert_eq!(page.phys_addr(ppn, off), pa);
+    }
+
+    #[test]
+    fn rebase_preserves_offset() {
+        let page = PageSize::default();
+        let va = VirtAddr::new(0x7_0123);
+        let pa = page.rebase(va, Ppn::new(0x99));
+        assert_eq!(page.ppn_of(pa).raw(), 0x99);
+        assert_eq!(page.offset_of(pa.raw()), page.offset_of(va.raw()));
+    }
+
+    #[test]
+    fn default_is_4k() {
+        assert_eq!(PageSize::default(), PageSize::SIZE_4K);
+        assert_eq!(PageSize::default().bytes(), 4096);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PageSize::new(4096).unwrap().to_string(), "4K");
+        assert_eq!(PageSize::new(512).unwrap().to_string(), "512B");
+        assert_eq!(format!("{:?}", PageSize::SIZE_4K), "PageSize(4096 B)");
+    }
+}

@@ -1,0 +1,159 @@
+//! Figures 4–6: average access time vs first-level R-cache slow-down.
+//!
+//! The measured hit ratios of Tables 6–7 are fed into the paper's analytic
+//! access-time equation with `t2 = 4*t1`, sweeping the slow-down penalty
+//! applied to the R-R hierarchy's physical first level (the serialized
+//! TLB). For rare-context-switch traces the curves touch at 0% (the two
+//! organizations tie); for abaqus the V-R hierarchy crosses over once the
+//! penalty exceeds a few percent.
+
+use vrcache::timing::{crossover_pct, slowdown_sweep, AccessTimeModel, SweepPoint};
+use vrcache_trace::presets::TracePreset;
+
+use super::hit_ratios::HitRatioRow;
+use super::pair_label;
+use crate::report::TableReport;
+
+/// One figure: a family of sweep curves, one per size pair.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Which trace the figure is for.
+    pub preset: TracePreset,
+    /// `(size pair, curve)` in table order.
+    pub curves: Vec<((u64, u64), Vec<SweepPoint>)>,
+}
+
+impl Figure {
+    /// The cross-over percentage per size pair (`None` when the V-R side
+    /// never catches up within the sweep).
+    pub fn crossovers(&self) -> Vec<((u64, u64), Option<f64>)> {
+        self.curves
+            .iter()
+            .map(|(pair, pts)| (*pair, crossover_pct(pts)))
+            .collect()
+    }
+}
+
+/// Builds the figure for `preset` from previously measured hit-ratio rows.
+///
+/// # Panics
+///
+/// Panics if `rows` lacks the preset or the pair count mismatches.
+pub fn figure(
+    preset: TracePreset,
+    pairs: &[(u64, u64)],
+    rows: &[HitRatioRow],
+    max_pct: f64,
+    steps: u32,
+) -> Figure {
+    let row = rows
+        .iter()
+        .find(|r| r.preset == preset)
+        .expect("preset measured");
+    assert_eq!(row.cells.len(), pairs.len(), "pair count mismatch");
+    let curves = pairs
+        .iter()
+        .zip(row.cells.iter())
+        .map(|(pair, cell)| {
+            let pts = slowdown_sweep(
+                AccessTimeModel::PAPER,
+                (cell.h1_vr, cell.h2_vr),
+                (cell.h1_rr, cell.h2_rr),
+                max_pct,
+                steps,
+            );
+            (*pair, pts)
+        })
+        .collect();
+    Figure { preset, curves }
+}
+
+/// Renders a figure as the series table the paper plots: one row per
+/// slow-down step, VR and RR access times per size pair.
+pub fn render(fig: &Figure, figure_no: u32) -> TableReport {
+    let mut headers = vec!["slowdown %".to_string()];
+    for (pair, _) in &fig.curves {
+        headers.push(format!("VR {}", pair_label(*pair)));
+        headers.push(format!("RR {}", pair_label(*pair)));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = TableReport::new(
+        format!(
+            "Figure {figure_no}: average access time vs slow-down of R-cache ({})",
+            fig.preset
+        ),
+        header_refs,
+    );
+    let steps = fig.curves[0].1.len();
+    for i in 0..steps {
+        let mut row = vec![format!("{:.1}", fig.curves[0].1[i].slowdown_pct)];
+        for (_, pts) in &fig.curves {
+            row.push(format!("{:.4}", pts[i].t_vr));
+            row.push(format!("{:.4}", pts[i].t_rr));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::hit_ratios::HitRatioCell;
+
+    fn rows() -> Vec<HitRatioRow> {
+        vec![
+            HitRatioRow {
+                preset: TracePreset::Thor,
+                cells: vec![HitRatioCell {
+                    h1_vr: 0.925,
+                    h1_rr: 0.925,
+                    h2_vr: 0.692,
+                    h2_rr: 0.691,
+                }],
+            },
+            HitRatioRow {
+                preset: TracePreset::Abaqus,
+                cells: vec![HitRatioCell {
+                    h1_vr: 0.888,
+                    h1_rr: 0.908,
+                    h2_vr: 0.585,
+                    h2_rr: 0.498,
+                }],
+            },
+        ]
+    }
+
+    const PAIR: [(u64, u64); 1] = [(16 * 1024, 256 * 1024)];
+
+    #[test]
+    fn equal_ratio_traces_tie_at_zero() {
+        let fig = figure(TracePreset::Thor, &PAIR, &rows(), 10.0, 10);
+        let x = fig.crossovers()[0].1.unwrap();
+        assert!(x < 1.0, "near-equal ratios cross immediately, got {x}%");
+    }
+
+    #[test]
+    fn abaqus_paper_ratios_cross_near_six_percent() {
+        // Using the *paper's own* Table 6 numbers, the crossover must land
+        // near the ~6% the paper reads off Figure 6.
+        let fig = figure(TracePreset::Abaqus, &PAIR, &rows(), 10.0, 100);
+        let x = fig.crossovers()[0].1.expect("must cross");
+        assert!((3.0..9.0).contains(&x), "crossover at {x}%");
+    }
+
+    #[test]
+    fn render_layout() {
+        let fig = figure(TracePreset::Thor, &PAIR, &rows(), 10.0, 5);
+        let t = render(&fig, 4);
+        assert_eq!(t.len(), 6);
+        assert!(t.title().contains("Figure 4"));
+        assert!(t.title().contains("thor"));
+    }
+
+    #[test]
+    #[should_panic(expected = "preset measured")]
+    fn missing_preset_panics() {
+        let _ = figure(TracePreset::Pops, &PAIR, &rows(), 10.0, 5);
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 5: characteristics of the traces.
+
+use vrcache_trace::presets::TracePreset;
+
+use super::ExperimentCtx;
+use crate::report::TableReport;
+
+/// Regenerates Table 5 from the synthetic presets.
+pub fn table5(ctx: &mut ExperimentCtx) -> TableReport {
+    let mut t = TableReport::new(
+        "Table 5: characteristics of traces",
+        vec![
+            "trace",
+            "num. of cpus",
+            "total refs",
+            "instr count",
+            "data read",
+            "data write",
+            "context switch count",
+        ],
+    );
+    for preset in TracePreset::ALL {
+        let s = ctx.trace(preset).summary();
+        t.row(vec![
+            s.name.clone(),
+            s.cpus.to_string(),
+            s.total_refs.to_string(),
+            s.instr_count.to_string(),
+            s.data_reads.to_string(),
+            s.data_writes.to_string(),
+            s.context_switches.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_matches_paper_shape() {
+        let mut ctx = ExperimentCtx::new(0.01);
+        let t = table5(&mut ctx);
+        assert_eq!(t.len(), 3);
+        // Row order: thor, pops, abaqus (paper order).
+        assert_eq!(t.cell_by_header(0, "trace"), Some("thor"));
+        assert_eq!(t.cell_by_header(0, "num. of cpus"), Some("4"));
+        assert_eq!(t.cell_by_header(2, "trace"), Some("abaqus"));
+        assert_eq!(t.cell_by_header(2, "num. of cpus"), Some("2"));
+        // Abaqus context switches scale with the trace (292 at full size).
+        let cs: u64 = t
+            .cell_by_header(2, "context switch count")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((2..=10).contains(&cs), "scaled switches: {cs}");
+    }
+}

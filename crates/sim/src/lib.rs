@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Trace-driven shared-bus multiprocessor simulator and experiment harness.
+//!
+//! This crate ties the workspace together:
+//!
+//! * [`system`] — a [`System`] of N processors, each with a
+//!   private two-level hierarchy (V-R, R-R with inclusion, or R-R without),
+//!   connected by a snooping bus over a version-checked main memory. It
+//!   replays a [`Trace`](vrcache_trace::trace::Trace) and collects hit
+//!   ratios, coherence-message counts and event statistics.
+//! * [`report`] — minimal markdown table rendering for experiment output.
+//! * [`experiments`] — one module per table and figure of the paper's
+//!   evaluation, each of which regenerates its artifact from scratch:
+//!   Tables 1–3 (write bursts and intervals), Table 5 (trace
+//!   characteristics), Tables 6–7 (hit ratios), Figures 4–6 (average access
+//!   time vs. first-level slow-down), Tables 8–10 (split vs unified first
+//!   level) and Tables 11–13 (coherence messages to the first level), plus
+//!   the Section 2 inclusion-invalidation count.
+//!
+//! # Example
+//!
+//! ```
+//! use vrcache_sim::system::{HierarchyKind, System};
+//! use vrcache::config::HierarchyConfig;
+//! use vrcache_trace::presets::TracePreset;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let trace = TracePreset::Pops.generate_scaled(0.005);
+//! let cfg = HierarchyConfig::direct_mapped(4 * 1024, 64 * 1024, 16)?;
+//! let mut sys = System::new(HierarchyKind::Vr, trace.cpus(), &cfg);
+//! let run = sys.run_trace(&trace)?;
+//! assert!(run.h1 > 0.5, "h1 = {}", run.h1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod system;
+
+pub use report::TableReport;
+pub use system::{HierarchyKind, RunSummary, SimError, System};

@@ -1,0 +1,13 @@
+//! Trace analyzers: the paper's Tables 1-2 (write bursts and intervals)
+//! plus the locality instruments (working set, reuse distance) used to
+//! calibrate the synthetic workloads.
+
+pub mod calls;
+pub mod intervals;
+pub mod reuse;
+pub mod working_set;
+
+pub use calls::{call_write_histogram, CallWriteHistogram};
+pub use intervals::{inter_write_intervals, IntervalHistogram};
+pub use reuse::{reuse_histogram, ReuseHistogram};
+pub use working_set::{miss_ratio_curve, working_set_curve, WorkingSetCurve};

@@ -1,0 +1,216 @@
+//! Working-set and miss-ratio characterization.
+//!
+//! These are the classic tools used to sanity-check a synthetic workload
+//! against real-trace behaviour (Denning's working set, the single-cache
+//! miss-ratio curve). The calibration of the `thor`/`pops`/`abaqus`
+//! presets against the paper's Tables 6–7 was driven by exactly these
+//! curves.
+
+use std::collections::HashMap;
+
+use core::fmt;
+use vrcache_mem::access::CpuId;
+
+use crate::record::TraceEvent;
+use crate::trace::Trace;
+
+/// Average number of distinct blocks touched per window, for a family of
+/// window lengths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkingSetCurve {
+    points: Vec<(u64, f64)>,
+}
+
+impl WorkingSetCurve {
+    /// The `(window length, average distinct blocks)` points, in window
+    /// order.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// The average working set for one measured window length.
+    pub fn at(&self, window: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(w, _)| *w == window)
+            .map(|(_, v)| *v)
+    }
+}
+
+impl fmt::Display for WorkingSetCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "| window (refs) | avg distinct blocks |")?;
+        writeln!(f, "|---|---|")?;
+        for (w, d) in &self.points {
+            writeln!(f, "| {w} | {d:.1} |")?;
+        }
+        Ok(())
+    }
+}
+
+/// Measures the working-set curve of one CPU's reference stream at block
+/// granularity `block_bytes`, over the given window lengths
+/// (non-overlapping windows, averaged).
+///
+/// # Panics
+///
+/// Panics if `block_bytes` is not a power of two or `windows` is empty.
+///
+/// # Example
+///
+/// ```
+/// use vrcache_mem::access::CpuId;
+/// use vrcache_trace::analysis::working_set_curve;
+/// use vrcache_trace::presets::TracePreset;
+///
+/// let trace = TracePreset::Pops.generate_scaled(0.005);
+/// let curve = working_set_curve(&trace, CpuId::new(0), 16, &[100, 1000]);
+/// // Larger windows touch at least as many distinct blocks.
+/// assert!(curve.at(1000).unwrap() >= curve.at(100).unwrap());
+/// ```
+pub fn working_set_curve(
+    trace: &Trace,
+    cpu: CpuId,
+    block_bytes: u64,
+    windows: &[u64],
+) -> WorkingSetCurve {
+    assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+    assert!(!windows.is_empty(), "need at least one window length");
+    let shift = block_bytes.trailing_zeros();
+    let stream: Vec<u64> = trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Access(a) if a.cpu == cpu => Some(a.vaddr.raw() >> shift),
+            _ => None,
+        })
+        .collect();
+    let points = windows
+        .iter()
+        .map(|w| {
+            let w_usize = (*w as usize).max(1);
+            let mut total_distinct = 0usize;
+            let mut windows_counted = 0usize;
+            for chunk in stream.chunks(w_usize) {
+                if chunk.len() < w_usize {
+                    break; // partial tail window skews the average
+                }
+                let distinct: std::collections::HashSet<&u64> = chunk.iter().collect();
+                total_distinct += distinct.len();
+                windows_counted += 1;
+            }
+            let avg = if windows_counted == 0 {
+                stream
+                    .iter()
+                    .collect::<std::collections::HashSet<_>>()
+                    .len() as f64
+            } else {
+                total_distinct as f64 / windows_counted as f64
+            };
+            (*w, avg)
+        })
+        .collect();
+    WorkingSetCurve { points }
+}
+
+/// Miss ratios of one CPU's virtual stream on plain direct-mapped caches
+/// of the given sizes (16-byte blocks), via an LRU-free single-pass
+/// simulation. A fast calibration instrument — the real experiments use
+/// the full hierarchy.
+pub fn miss_ratio_curve(trace: &Trace, cpu: CpuId, sizes: &[u64]) -> Vec<(u64, f64)> {
+    const BLOCK: u64 = 16;
+    sizes
+        .iter()
+        .map(|size| {
+            let sets = size / BLOCK;
+            assert!(sets.is_power_of_two(), "cache size must give 2^n sets");
+            let mut tags: HashMap<u64, u64> = HashMap::new();
+            let mut refs = 0u64;
+            let mut misses = 0u64;
+            for e in trace.iter() {
+                let a = match e {
+                    TraceEvent::Access(a) if a.cpu == cpu => a,
+                    _ => continue,
+                };
+                let block = a.vaddr.raw() / BLOCK;
+                let set = block % sets;
+                refs += 1;
+                if tags.get(&set) != Some(&block) {
+                    misses += 1;
+                    tags.insert(set, block);
+                }
+            }
+            let ratio = if refs == 0 {
+                0.0
+            } else {
+                misses as f64 / refs as f64
+            };
+            (*size, ratio)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, WorkloadConfig};
+
+    fn trace() -> Trace {
+        generate(&WorkloadConfig {
+            cpus: 1,
+            total_refs: 30_000,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    #[test]
+    fn working_set_grows_with_window() {
+        let t = trace();
+        let c = working_set_curve(&t, CpuId::new(0), 16, &[50, 500, 5_000]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].1 <= pts[1].1 && pts[1].1 <= pts[2].1);
+        // A window can never hold more distinct blocks than references.
+        for (w, d) in pts {
+            assert!(*d <= *w as f64);
+            assert!(*d >= 1.0);
+        }
+    }
+
+    #[test]
+    fn working_set_is_sublinear_for_local_streams() {
+        let t = trace();
+        let c = working_set_curve(&t, CpuId::new(0), 16, &[100, 10_000]);
+        let small = c.at(100).unwrap();
+        let large = c.at(10_000).unwrap();
+        // 100x more references must NOT mean 100x more distinct blocks.
+        assert!(
+            large < small * 40.0,
+            "no locality: {small} -> {large} distinct blocks"
+        );
+    }
+
+    #[test]
+    fn miss_ratio_decreases_with_size() {
+        let t = trace();
+        let curve = miss_ratio_curve(&t, CpuId::new(0), &[1024, 4096, 16 * 1024]);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].1 >= curve[1].1 && curve[1].1 >= curve[2].1);
+        assert!(curve[2].1 > 0.0, "cold misses always exist");
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let t = trace();
+        let c = working_set_curve(&t, CpuId::new(0), 16, &[100]);
+        assert!(c.to_string().contains("| 100 |"));
+    }
+
+    #[test]
+    fn empty_cpu_stream_is_safe() {
+        let t = trace();
+        let c = working_set_curve(&t, CpuId::new(5), 16, &[100]);
+        assert_eq!(c.at(100), Some(0.0));
+        let m = miss_ratio_curve(&t, CpuId::new(5), &[1024]);
+        assert_eq!(m[0].1, 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Calibrated stand-ins for the paper's three ATUM traces.
+//!
+//! Table 5 of the paper gives the per-trace characteristics; each preset
+//! reproduces the CPU count, total references, instruction/read/write mix
+//! and context-switch count, and chooses locality parameters that place the
+//! hit ratios in the neighbourhood of the paper's Tables 6–7.
+//!
+//! | trace  | cpus | refs  | instr | read  | write | switches |
+//! |--------|------|-------|-------|-------|-------|----------|
+//! | thor   | 4    | 3283k | 1517k | 1390k | 376k  | 21       |
+//! | pops   | 4    | 3286k | 1718k | 1285k | 283k  | 7        |
+//! | abaqus | 2    | 1196k | 514k  | 600k  | 82k   | 292      |
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::synth::{generate, WorkloadConfig};
+use crate::trace::Trace;
+
+/// The three workload presets of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TracePreset {
+    /// 4-CPU trace, rare context switches, write-heavy procedure calls.
+    Pops,
+    /// 4-CPU trace, rare context switches.
+    Thor,
+    /// 2-CPU trace with frequent context switches.
+    Abaqus,
+}
+
+impl TracePreset {
+    /// All presets, in the paper's table order.
+    pub const ALL: [TracePreset; 3] = [TracePreset::Thor, TracePreset::Pops, TracePreset::Abaqus];
+
+    /// The preset's name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePreset::Pops => "pops",
+            TracePreset::Thor => "thor",
+            TracePreset::Abaqus => "abaqus",
+        }
+    }
+
+    /// The full-size workload configuration for this preset.
+    pub fn config(self) -> WorkloadConfig {
+        let base = WorkloadConfig::default();
+        match self {
+            TracePreset::Thor => WorkloadConfig {
+                name: "thor".into(),
+                cpus: 4,
+                processes_per_cpu: 2,
+                total_refs: 3_283_000,
+                context_switches: 21,
+                seed: 0x7402,
+                // instr 1517k, data 1766k => 1.164 data/instr; writes 376k/1766k = .213
+                data_per_instr: 1.164,
+                write_frac: 0.213,
+                p_call: 0.004,
+                code_funcs: 160,
+                func_bytes: 4 * 1024,
+                p_loop: 0.28,
+                loop_len_max: 48,
+                func_zipf_s: 1.1,
+                hot_words: 256,
+                hot_zipf_s: 1.35,
+                heap_pages: 640,
+                working_set_pages: 13,
+                drift_period: 3_000,
+                heap_repeat: 0.93,
+                p_shared: 0.05,
+                shared_pages: 24,
+                shared_zipf_s: 1.3,
+                p_synonym_alias: 0.03,
+                ..base
+            },
+            TracePreset::Pops => WorkloadConfig {
+                name: "pops".into(),
+                cpus: 4,
+                processes_per_cpu: 2,
+                total_refs: 3_286_000,
+                context_switches: 7,
+                seed: 0x9095,
+                // instr 1718k, data 1568k => 0.913 data/instr; writes 283k/1568k = .18
+                data_per_instr: 0.913,
+                write_frac: 0.18,
+                // Table 1: ~87k of 283k writes come from calls (~30%); with a
+                // mean burst of ~8.2 writes that is ~10.5k calls over 1718k
+                // instructions.
+                p_call: 0.0062,
+                code_funcs: 128,
+                func_bytes: 4 * 1024,
+                p_loop: 0.28,
+                loop_len_max: 48,
+                func_zipf_s: 1.1,
+                hot_words: 256,
+                hot_zipf_s: 1.35,
+                heap_pages: 576,
+                working_set_pages: 13,
+                drift_period: 2_800,
+                heap_repeat: 0.93,
+                p_shared: 0.05,
+                shared_pages: 24,
+                shared_zipf_s: 1.3,
+                p_synonym_alias: 0.03,
+                ..base
+            },
+            TracePreset::Abaqus => WorkloadConfig {
+                name: "abaqus".into(),
+                cpus: 2,
+                processes_per_cpu: 3,
+                total_refs: 1_196_000,
+                context_switches: 292,
+                seed: 0xABA9,
+                // instr 514k, data 682k => 1.327 data/instr; writes 82k/682k = .12
+                data_per_instr: 1.327,
+                write_frac: 0.12,
+                p_call: 0.003,
+                code_funcs: 96,
+                func_bytes: 4 * 1024,
+                p_loop: 0.24,
+                loop_len_max: 48,
+                func_zipf_s: 1.05,
+                hot_words: 512,
+                hot_zipf_s: 1.2,
+                heap_pages: 768,
+                working_set_pages: 20,
+                drift_period: 2_000,
+                heap_repeat: 0.88,
+                p_shared: 0.06,
+                shared_pages: 24,
+                shared_zipf_s: 1.3,
+                p_synonym_alias: 0.03,
+                ..base
+            },
+        }
+    }
+
+    /// Generates the full-size trace (a few million references; takes a few
+    /// seconds).
+    pub fn generate(self) -> Trace {
+        generate(&self.config())
+    }
+
+    /// Generates a volume-scaled trace (same mix and locality knobs, fewer
+    /// references). `factor = 1.0` is the full-size trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn generate_scaled(self, factor: f64) -> Trace {
+        generate(&self.config().scaled(factor))
+    }
+}
+
+impl fmt::Display for TracePreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_names() {
+        assert_eq!(TracePreset::Pops.name(), "pops");
+        assert_eq!(TracePreset::Thor.to_string(), "thor");
+        assert_eq!(TracePreset::ALL.len(), 3);
+    }
+
+    #[test]
+    fn scaled_trace_matches_table5_shape() {
+        // 2% scale keeps the test fast while verifying the calibration.
+        let t = TracePreset::Pops.generate_scaled(0.02);
+        let s = t.summary();
+        assert_eq!(s.cpus, 4);
+        let total = s.total_refs as f64;
+        assert!((total - 0.02 * 3_286_000.0).abs() / total < 0.01);
+        // Mix within tolerance of Table 5's ratios.
+        let instr_frac = s.instr_count as f64 / total;
+        assert!((instr_frac - 1_718.0 / 3_286.0).abs() < 0.03, "instr frac {instr_frac}");
+        let wf = s.write_frac();
+        assert!((wf - 0.18).abs() < 0.03, "write frac {wf}");
+    }
+
+    #[test]
+    fn abaqus_has_frequent_switches() {
+        let t = TracePreset::Abaqus.generate_scaled(0.05);
+        let s = t.summary();
+        assert_eq!(s.cpus, 2);
+        assert!(s.context_switches >= 10, "got {}", s.context_switches);
+    }
+
+    #[test]
+    fn thor_scaled_summary() {
+        let t = TracePreset::Thor.generate_scaled(0.01);
+        let s = t.summary();
+        assert_eq!(s.cpus, 4);
+        let dpi = s.data_refs() as f64 / s.instr_count as f64;
+        assert!((dpi - 1.164).abs() < 0.08, "data/instr {dpi}");
+    }
+}

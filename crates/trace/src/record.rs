@@ -1,0 +1,107 @@
+//! Trace event vocabulary.
+//!
+//! Every memory reference carries **both** its virtual and its physical
+//! address. The generator resolves translations once, at generation time,
+//! through a [`MemoryMap`](vrcache_mem::page_table::MemoryMap); replaying
+//! the same trace against different hierarchy configurations then sees an
+//! identical reference stream, which is exactly the methodological property
+//! the paper's trace-driven comparison relies on.
+
+use serde::{Deserialize, Serialize};
+use vrcache_mem::access::{AccessKind, CpuId};
+use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr};
+
+/// One classified memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// The issuing processor.
+    pub cpu: CpuId,
+    /// The address space the reference was issued from.
+    pub asid: Asid,
+    /// Instruction fetch / data read / data write.
+    pub kind: AccessKind,
+    /// The virtual address (indexes the V-cache).
+    pub vaddr: VirtAddr,
+    /// The translated physical address (indexes the R-cache and the bus).
+    pub paddr: PhysAddr,
+}
+
+/// One event of a multiprocessor trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A memory reference.
+    Access(MemAccess),
+    /// The scheduler switched `cpu` from process `from` to process `to`.
+    ContextSwitch {
+        /// The processor that switched.
+        cpu: CpuId,
+        /// The descheduled address space.
+        from: Asid,
+        /// The newly scheduled address space.
+        to: Asid,
+    },
+}
+
+impl TraceEvent {
+    /// The memory reference, if this event is one.
+    pub fn access(&self) -> Option<&MemAccess> {
+        match self {
+            TraceEvent::Access(a) => Some(a),
+            TraceEvent::ContextSwitch { .. } => None,
+        }
+    }
+
+    /// The processor this event concerns.
+    pub fn cpu(&self) -> CpuId {
+        match self {
+            TraceEvent::Access(a) => a.cpu,
+            TraceEvent::ContextSwitch { cpu, .. } => *cpu,
+        }
+    }
+
+    /// True for [`TraceEvent::ContextSwitch`].
+    pub fn is_context_switch(&self) -> bool {
+        matches!(self, TraceEvent::ContextSwitch { .. })
+    }
+}
+
+impl From<MemAccess> for TraceEvent {
+    fn from(a: MemAccess) -> Self {
+        TraceEvent::Access(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_access() -> MemAccess {
+        MemAccess {
+            cpu: CpuId::new(1),
+            asid: Asid::new(2),
+            kind: AccessKind::DataWrite,
+            vaddr: VirtAddr::new(0x1000),
+            paddr: PhysAddr::new(0x8000),
+        }
+    }
+
+    #[test]
+    fn access_accessors() {
+        let e = TraceEvent::from(sample_access());
+        assert_eq!(e.cpu(), CpuId::new(1));
+        assert!(!e.is_context_switch());
+        assert_eq!(e.access().unwrap().kind, AccessKind::DataWrite);
+    }
+
+    #[test]
+    fn context_switch_accessors() {
+        let e = TraceEvent::ContextSwitch {
+            cpu: CpuId::new(3),
+            from: Asid::new(1),
+            to: Asid::new(2),
+        };
+        assert_eq!(e.cpu(), CpuId::new(3));
+        assert!(e.is_context_switch());
+        assert!(e.access().is_none());
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the binary trace codec: arbitrary event sequences
+//! round-trip, and arbitrary byte soup never panics the decoder.
+
+use proptest::prelude::*;
+use vrcache_mem::access::{AccessKind, CpuId};
+use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr};
+use vrcache_mem::page::PageSize;
+use vrcache_trace::codec::{decode, encode};
+use vrcache_trace::record::{MemAccess, TraceEvent};
+use vrcache_trace::trace::Trace;
+
+fn event_strategy() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        8 => (any::<u16>(), any::<u16>(), 0u8..3, any::<u64>(), any::<u64>()).prop_map(
+            |(cpu, asid, kind, va, pa)| {
+                let kind = match kind {
+                    0 => AccessKind::InstrFetch,
+                    1 => AccessKind::DataRead,
+                    _ => AccessKind::DataWrite,
+                };
+                TraceEvent::Access(MemAccess {
+                    cpu: CpuId::new(cpu),
+                    asid: Asid::new(asid),
+                    kind,
+                    vaddr: VirtAddr::new(va),
+                    paddr: PhysAddr::new(pa),
+                })
+            }
+        ),
+        1 => (any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(cpu, from, to)| {
+            TraceEvent::ContextSwitch {
+                cpu: CpuId::new(cpu),
+                from: Asid::new(from),
+                to: Asid::new(to),
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn round_trip_any_events(
+        name in "[a-z]{0,12}",
+        cpus in 1u16..16,
+        events in proptest::collection::vec(event_strategy(), 0..200),
+    ) {
+        let t = Trace::new(name, cpus, PageSize::SIZE_4K, events);
+        let encoded = encode(&t);
+        let back = decode(&encoded).unwrap();
+        prop_assert_eq!(back.name(), t.name());
+        prop_assert_eq!(back.cpus(), t.cpus());
+        prop_assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes); // must return, never panic
+    }
+
+    #[test]
+    fn decoder_never_panics_on_truncations(
+        events in proptest::collection::vec(event_strategy(), 0..50),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let t = Trace::new("t", 2, PageSize::SIZE_4K, events);
+        let bytes = encode(&t);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = decode(&bytes[..cut]);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_single_flip(
+        events in proptest::collection::vec(event_strategy(), 1..30),
+        pos_frac in 0.0f64..1.0,
+        flip in any::<u8>(),
+    ) {
+        let t = Trace::new("t", 2, PageSize::SIZE_4K, events);
+        let mut bytes = encode(&t).to_vec();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        let _ = decode(&bytes);
+    }
+}

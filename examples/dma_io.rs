@@ -1,0 +1,75 @@
+//! I/O (DMA) against the virtual-real hierarchy.
+//!
+//! Problem 4 of the paper's introduction: "I/O devices use physical
+//! addresses as well, also requiring reverse translation." In the V-R
+//! organization the physically-addressed R-cache absorbs device traffic
+//! and forwards work to the V-cache only when the inclusion state demands
+//! it. This demo runs a device-input / compute / device-output cycle and
+//! shows how little the first level is disturbed.
+//!
+//! ```text
+//! cargo run --example dma_io
+//! ```
+
+use vrcache::config::HierarchyConfig;
+use vrcache_mem::access::{AccessKind, CpuId};
+use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr};
+use vrcache_sim::system::{HierarchyKind, System};
+use vrcache_trace::record::{MemAccess, TraceEvent};
+
+fn touch(cpu: u16, kind: AccessKind, addr: u64) -> TraceEvent {
+    TraceEvent::Access(MemAccess {
+        cpu: CpuId::new(cpu),
+        asid: Asid::new(1),
+        kind,
+        vaddr: VirtAddr::new(addr),
+        paddr: PhysAddr::new(addr), // identity-mapped buffer for clarity
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = HierarchyConfig::paper_default()?;
+    let mut sys = System::new(HierarchyKind::Vr, 2, &cfg);
+
+    const BUF: u64 = 0x4_0000;
+    const BUF_LEN: u64 = 512; // 32 blocks
+
+    println!("1) device DMA-writes a {BUF_LEN}-byte input buffer:");
+    sys.dma_write(BUF, BUF_LEN)?;
+    report(&sys, "after device input");
+
+    println!("\n2) cpu0 reads and transforms the buffer (read + write per block):");
+    let mut work = Vec::new();
+    for off in (0..BUF_LEN).step_by(16) {
+        work.push(touch(0, AccessKind::DataRead, BUF + off));
+        work.push(touch(0, AccessKind::DataWrite, BUF + off));
+    }
+    sys.run_events(work.iter())?;
+    report(&sys, "after compute (results dirty in the V-cache)");
+
+    println!("\n3) device DMA-reads the result buffer back out:");
+    sys.dma_read(BUF, BUF_LEN)?;
+    report(&sys, "after device output");
+
+    println!("\n4) a second device stream to an unrelated buffer:");
+    sys.dma_write(0x8_0000, 4096)?;
+    report(&sys, "after unrelated I/O (V-cache untouched)");
+
+    sys.check_invariants().map_err(std::io::Error::other)?;
+    println!(
+        "\nEvery device read observed the newest processor data (the version \
+         oracle checked each one), and only step 3 disturbed the V-cache — \
+         precisely the flushes the dirty results required."
+    );
+    Ok(())
+}
+
+fn report(sys: &System, label: &str) {
+    let e = sys.events(CpuId::new(0));
+    println!(
+        "   [{label}] cpu0 V-cache coherence messages: {} (flushes {}, invalidations {})",
+        e.l1_coherence_messages(),
+        e.flush_v + e.flush_buffer,
+        e.inval_v + e.inval_buffer,
+    );
+}

@@ -1,0 +1,83 @@
+//! Synonym resolution, step by step.
+//!
+//! Two virtual addresses name the same physical block. The demo drives the
+//! V-R hierarchy through the paper's two synonym cases:
+//!
+//! * **sameset** — the existing copy is in the same V-cache set: the entry
+//!   is re-tagged in place and any pending write-back is cancelled;
+//! * **move** — the copy is in a different set: it is invalidated there and
+//!   moved, dirty data travelling with it.
+//!
+//! ```text
+//! cargo run --example synonym_demo
+//! ```
+
+use vrcache::config::HierarchyConfig;
+use vrcache::hierarchy::CacheHierarchy;
+use vrcache::sys::LoopbackBus;
+use vrcache::vr::VrHierarchy;
+use vrcache_bus::oracle::VersionOracle;
+use vrcache_mem::access::{AccessKind, CpuId};
+use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr};
+use vrcache_trace::record::MemAccess;
+
+fn access(
+    h: &mut VrHierarchy,
+    bus: &mut LoopbackBus,
+    oracle: &mut VersionOracle,
+    kind: AccessKind,
+    va: u64,
+    pa: u64,
+) {
+    let out = h
+        .access(
+            &MemAccess {
+                cpu: CpuId::new(0),
+                asid: Asid::new(1),
+                kind,
+                vaddr: VirtAddr::new(va),
+                paddr: PhysAddr::new(pa),
+            },
+            bus,
+            oracle,
+        )
+        .expect("coherent");
+    println!(
+        "  {kind:?} va={va:#x} pa={pa:#x}: l1_hit={} l2_hit={:?} synonym={:?}",
+        out.l1_hit, out.l2_hit, out.synonym
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8K V-cache spans two 4K pages, so synonyms with different VPN
+    // parity land in *different* sets — both cases are reachable.
+    let cfg = HierarchyConfig::direct_mapped(8 * 1024, 64 * 1024, 16)?;
+    let mut h = VrHierarchy::new(CpuId::new(0), &cfg);
+    let mut bus = LoopbackBus::new();
+    let mut oracle = VersionOracle::new();
+
+    println!("1) write through the first name (va 0x1100 -> pa 0x9100):");
+    access(&mut h, &mut bus, &mut oracle, AccessKind::DataWrite, 0x1100, 0x9100);
+
+    println!("\n2) read the same physical block through a same-set alias (va 0x3100):");
+    access(&mut h, &mut bus, &mut oracle, AccessKind::DataRead, 0x3100, 0x9100);
+    println!("   -> sameset: re-tagged in place, write-back cancelled");
+
+    println!("\n3) read it through a different-set alias (va 0x2100):");
+    access(&mut h, &mut bus, &mut oracle, AccessKind::DataRead, 0x2100, 0x9100);
+    println!("   -> move: invalidated in the old set, installed in the new one");
+
+    println!("\n4) the old name now misses (at most one V-cache copy ever exists):");
+    access(&mut h, &mut bus, &mut oracle, AccessKind::DataRead, 0x3100, 0x9100);
+
+    let e = h.events();
+    println!(
+        "\nevents: {} sameset, {} move; write buffer cancellations: {}",
+        e.synonym_sameset,
+        e.synonym_move,
+        h.write_buffer().stats().cancelled,
+    );
+    h.check_invariants().map_err(std::io::Error::other)?;
+    println!("invariants hold: the dirty data followed the block through every rename.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Inspect a synthetic workload with the trace analyzers.
+//!
+//! Prints the Table-5 style summary, the procedure-call write-burst
+//! histogram (Table 1), the inter-write intervals (Table 2), the
+//! working-set curve and a single-cache miss-ratio curve for one of the
+//! calibrated presets.
+//!
+//! ```text
+//! cargo run --release --example trace_inspector [pops|thor|abaqus] [scale]
+//! ```
+
+use vrcache_mem::access::CpuId;
+use vrcache_trace::analysis::{
+    call_write_histogram, inter_write_intervals, miss_ratio_curve, working_set_curve,
+};
+use vrcache_trace::presets::TracePreset;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let preset = match args.next().as_deref() {
+        Some("thor") => TracePreset::Thor,
+        Some("abaqus") => TracePreset::Abaqus,
+        _ => TracePreset::Pops,
+    };
+    let scale = args
+        .next()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.05)
+        .clamp(0.001, 1.0);
+
+    eprintln!("generating {preset} at scale {scale} ...");
+    let trace = preset.generate_scaled(scale);
+    println!("## summary (Table 5 row)\n\n{}\n", trace.summary());
+
+    let hist = call_write_histogram(&trace, 4);
+    println!("## procedure-call write bursts (Table 1)\n\n{hist}");
+    println!(
+        "\n{:.1}% of all writes come from detected call bursts\n",
+        hist.call_write_frac() * 100.0
+    );
+
+    let intervals = inter_write_intervals(&trace, CpuId::new(0), 50_000);
+    println!("## inter-write intervals, cpu0 snapshot (Table 2)\n\n{intervals}");
+    println!(
+        "\n{:.1}% of intervals are shorter than 10 references\n",
+        intervals.short_frac() * 100.0
+    );
+
+    let ws = working_set_curve(&trace, CpuId::new(0), 16, &[100, 1_000, 10_000, 50_000]);
+    println!("## working-set curve (16-byte blocks, cpu0)\n\n{ws}");
+
+    println!("## single-cache miss ratios (direct-mapped, 16-byte blocks, cpu0)\n");
+    println!("| cache | miss ratio |");
+    println!("|---|---|");
+    for (size, miss) in miss_ratio_curve(
+        &trace,
+        CpuId::new(0),
+        &[1024, 4 * 1024, 16 * 1024, 64 * 1024],
+    ) {
+        println!("| {}K | {miss:.4} |", size / 1024);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based system tests: arbitrary access interleavings — including
+//! synonyms, cross-process sharing and context switches — never violate
+//! coherence (version oracle) or the structural invariants, on any
+//! organization.
+
+use proptest::prelude::*;
+
+use vrcache::config::HierarchyConfig;
+use vrcache_mem::access::{AccessKind, CpuId};
+use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr};
+use vrcache_mem::page::PageSize;
+use vrcache_sim::system::{HierarchyKind, System};
+use vrcache_trace::record::{MemAccess, TraceEvent};
+
+const CPUS: u16 = 2;
+const PAGE: u64 = 4096;
+
+/// One abstract step of the generated schedule.
+#[derive(Debug, Clone)]
+enum Step {
+    /// cpu, kind selector, virtual page selector, offset words.
+    Access(u16, u8, u8, u16),
+    /// Context switch on cpu.
+    Switch(u16),
+}
+
+/// The fixed address-space layout used by the generator:
+///
+/// * each CPU runs two processes (`asid = cpu*2 + slot + 1`),
+/// * virtual pages 0–2 are private (`pa_page = asid*8 + vpage`),
+/// * virtual page 3 maps the shared page 100 (same VA in every process —
+///   cross-process same-set synonyms),
+/// * virtual page 4 *also* maps shared page 100 (intra-process synonym),
+/// * virtual page 5 maps shared page 101.
+fn translate(asid: Asid, vpage: u64) -> u64 {
+    match vpage {
+        0..=2 => u64::from(asid.raw()) * 8 + vpage,
+        3 | 4 => 100,
+        5 => 101,
+        _ => unreachable!("vpage out of range"),
+    }
+}
+
+fn materialize(steps: &[Step], active: &mut [usize; 2]) -> Vec<TraceEvent> {
+    steps
+        .iter()
+        .map(|s| match s {
+            Step::Switch(cpu) => {
+                let c = (*cpu % CPUS) as usize;
+                let from = Asid::new((c as u16) * 2 + active[c] as u16 + 1);
+                active[c] = 1 - active[c];
+                let to = Asid::new((c as u16) * 2 + active[c] as u16 + 1);
+                TraceEvent::ContextSwitch {
+                    cpu: CpuId::new(c as u16),
+                    from,
+                    to,
+                }
+            }
+            Step::Access(cpu, kind_sel, vpage_sel, offset_words) => {
+                let c = (*cpu % CPUS) as usize;
+                let asid = Asid::new((c as u16) * 2 + active[c] as u16 + 1);
+                let kind = match kind_sel % 5 {
+                    0 => AccessKind::DataWrite,
+                    1 | 2 => AccessKind::DataRead,
+                    _ => AccessKind::InstrFetch,
+                };
+                let vpage = u64::from(vpage_sel % 6);
+                let offset = u64::from(*offset_words % 256) * 4;
+                let va = vpage * PAGE + offset;
+                let pa = translate(asid, vpage) * PAGE + offset;
+                TraceEvent::Access(MemAccess {
+                    cpu: CpuId::new(c as u16),
+                    asid,
+                    kind,
+                    vaddr: VirtAddr::new(va),
+                    paddr: PhysAddr::new(pa),
+                })
+            }
+        })
+        .collect()
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        9 => (0..CPUS, any::<u8>(), any::<u8>(), any::<u16>())
+            .prop_map(|(c, k, p, o)| Step::Access(c, k, p, o)),
+        1 => (0..CPUS).prop_map(Step::Switch),
+    ]
+}
+
+fn run_schedule(kind: HierarchyKind, cfg: &HierarchyConfig, steps: &[Step]) {
+    let mut active = [0usize; 2];
+    let events = materialize(steps, &mut active);
+    let mut sys = System::new(kind, CPUS, cfg).with_invariant_checks(16);
+    sys.run_events(events.iter())
+        .unwrap_or_else(|e| panic!("{kind}: {e}"));
+    sys.check_invariants().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The V-R hierarchy stays coherent and structurally sound on any
+    /// schedule.
+    #[test]
+    fn vr_never_breaks(steps in proptest::collection::vec(step_strategy(), 1..400)) {
+        let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16).unwrap();
+        run_schedule(HierarchyKind::Vr, &cfg, &steps);
+    }
+
+    /// Both R-R baselines and the Goodman single-level organization stay
+    /// coherent on any schedule.
+    #[test]
+    fn rr_and_goodman_never_break(steps in proptest::collection::vec(step_strategy(), 1..300)) {
+        let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16).unwrap();
+        run_schedule(HierarchyKind::RrInclusive, &cfg, &steps);
+        run_schedule(HierarchyKind::RrNonInclusive, &cfg, &steps);
+        run_schedule(HierarchyKind::GoodmanSingleLevel, &cfg, &steps);
+    }
+
+    /// Associative, multi-subblock geometries stay sound too.
+    #[test]
+    fn vr_multiblock_never_breaks(steps in proptest::collection::vec(step_strategy(), 1..250)) {
+        let l1 = vrcache_cache::geometry::CacheGeometry::new(512, 16, 2).unwrap();
+        let l2 = vrcache_cache::geometry::CacheGeometry::new(8 * 1024, 32, 2).unwrap();
+        let cfg = HierarchyConfig::new(l1, l2, PageSize::SIZE_4K).unwrap();
+        run_schedule(HierarchyKind::Vr, &cfg, &steps);
+    }
+
+    /// A split first level is as sound as a unified one.
+    #[test]
+    fn vr_split_never_breaks(steps in proptest::collection::vec(step_strategy(), 1..250)) {
+        let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16)
+            .unwrap()
+            .with_split_l1();
+        run_schedule(HierarchyKind::Vr, &cfg, &steps);
+    }
+
+    /// The update (write-broadcast) protocol stays coherent on any
+    /// schedule: every broadcast refreshes all copies, so the oracle's
+    /// "any valid copy is newest" invariant must keep holding.
+    #[test]
+    fn update_protocol_never_breaks(steps in proptest::collection::vec(step_strategy(), 1..350)) {
+        let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16)
+            .unwrap()
+            .with_update_protocol();
+        run_schedule(HierarchyKind::Vr, &cfg, &steps);
+    }
+
+    /// Every context-switch scheme stays coherent — including the ASID-tag
+    /// alternative, where entries of several processes coexist in the
+    /// V-cache and cross-process synonyms are resolved by re-tagging.
+    #[test]
+    fn all_switch_schemes_never_break(steps in proptest::collection::vec(step_strategy(), 1..250)) {
+        let base = HierarchyConfig::direct_mapped(512, 8 * 1024, 16).unwrap();
+        run_schedule(HierarchyKind::Vr, &base.clone().with_eager_flush(), &steps);
+        run_schedule(HierarchyKind::Vr, &base.clone().with_asid_tags(), &steps);
+        run_schedule(HierarchyKind::Vr, &base.with_write_through(), &steps);
+    }
+}
