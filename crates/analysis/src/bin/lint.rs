@@ -1,0 +1,43 @@
+//! Workspace lint driver: `cargo run -p vrcache-analysis --bin lint`.
+//!
+//! Walks every tracked `.rs` source (plus DESIGN.md), runs the four lint
+//! passes, prints `file:line: [lint] message` diagnostics, and exits
+//! non-zero if anything fired. `scripts/check.sh` runs this as part of
+//! the pre-merge gate.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use vrcache_analysis::{run_all, walk};
+
+fn main() -> ExitCode {
+    let cwd = std::env::current_dir().expect("current directory is readable");
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| Path::new(&d).to_path_buf())
+        .unwrap_or_else(|_| cwd.clone());
+    let Some(root) = walk::find_root(&start).or_else(|| walk::find_root(&cwd)) else {
+        eprintln!("lint: no workspace root (Cargo.toml with [workspace]) above {start:?}");
+        return ExitCode::from(2);
+    };
+    let ws = match walk::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("lint: failed to read workspace under {root:?}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = run_all(&ws);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!(
+            "lint: clean — {} files checked (determinism, address-hygiene, panic-hygiene, doc-drift)",
+            ws.sources.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,193 @@
+//! Static analysis for the vrcache workspace.
+//!
+//! Four lints, run by `cargo run -p vrcache-analysis --bin lint`:
+//!
+//! * **determinism** — simulation results must be a pure function of the
+//!   seed. Wall-clock and entropy sources are forbidden everywhere, and
+//!   hash-ordered collections are forbidden in statistics/report code,
+//!   where iteration order leaks into rendered output.
+//! * **address-hygiene** — `as u64` / `as usize` casts may not appear on
+//!   lines handling the address newtypes (`VirtAddr`, `PhysAddr`, `Vpn`,
+//!   `Ppn`) outside `crates/mem`, which owns the raw representation.
+//! * **doc-drift** — DESIGN.md's experiment index must agree with the
+//!   experiment modules and the `repro` binary's subcommands.
+//! * **panic-hygiene** — `unsafe` is forbidden everywhere; `.unwrap()` /
+//!   `.expect(` are forbidden in `crates/core` library code (tests
+//!   excepted), where broken invariants must surface as typed violations,
+//!   not ad-hoc panics.
+//!
+//! Every lint is a pure function over an in-memory [`Workspace`], so the
+//! crate's tests seed violations directly without touching the
+//! filesystem. All collections used here are ordered (`BTreeMap`/sorted
+//! `Vec`), so diagnostic output is deterministic — this crate holds
+//! itself to the rules it enforces.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub mod lints;
+pub mod walk;
+
+use std::fmt;
+
+/// One workspace source file, path relative to the workspace root.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+impl SourceFile {
+    /// Convenience constructor (used heavily by tests).
+    pub fn new(rel_path: impl Into<String>, text: impl Into<String>) -> Self {
+        SourceFile {
+            rel_path: rel_path.into(),
+            text: text.into(),
+        }
+    }
+}
+
+/// The linted tree: every tracked `.rs` file plus the documents the
+/// doc-drift lint cross-checks.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All Rust sources (excluding `vendor/` and `target/`).
+    pub sources: Vec<SourceFile>,
+    /// Contents of `DESIGN.md`, if present.
+    pub design_md: Option<String>,
+}
+
+impl Workspace {
+    /// Looks up a source file by exact relative path.
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.sources.iter().find(|f| f.rel_path == rel_path)
+    }
+
+    /// True if any tracked file lives at `rel_path` or below it.
+    pub fn has_path_prefix(&self, prefix: &str) -> bool {
+        self.sources
+            .iter()
+            .any(|f| f.rel_path == prefix || f.rel_path.starts_with(&format!("{prefix}/")))
+    }
+}
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// File the finding is in, relative to the workspace root.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Short stable lint identifier, e.g. `determinism`.
+    pub lint: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Runs every lint over the workspace, returning findings sorted by file
+/// and line.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(lints::determinism::check(ws));
+    diags.extend(lints::address::check(ws));
+    diags.extend(lints::panic_hygiene::check(ws));
+    diags.extend(lints::doc_drift::check(ws));
+    diags.sort();
+    diags
+}
+
+/// Strips the `//`-comment tail of a source line, respecting string
+/// literals (a `//` inside `"..."` does not start a comment). Character
+/// literals and raw strings are not modeled; the workspace style makes
+/// those cases irrelevant to the text patterns we search for.
+pub fn code_portion(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip the escaped character
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// True when `word` occurs in `haystack` delimited by non-identifier
+/// characters — `unsafe` must not fire inside `unsafe_code`, nor `Vpn`
+/// inside `VpnLike`.
+pub fn contains_word(haystack: &str, word: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(word) {
+        let at = start + pos;
+        let end = at + word.len();
+        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("let p: Ppn = q;", "Ppn"));
+        assert!(!contains_word("let p: PpnLike = q;", "Ppn"));
+        assert!(!contains_word("let p = my_ppn;", "Ppn"));
+        assert!(!contains_word(
+            concat!("#![forbid(uns", "afe_code)]"),
+            concat!("uns", "afe")
+        ));
+        assert!(contains_word(
+            concat!("uns", "afe fn f()"),
+            concat!("uns", "afe")
+        ));
+    }
+
+    #[test]
+    fn code_portion_strips_comments_not_strings() {
+        assert_eq!(code_portion("let x = 1; // tail"), "let x = 1; ");
+        assert_eq!(code_portion(r#"let s = "a // b";"#), r#"let s = "a // b";"#);
+        assert_eq!(code_portion("/// doc"), "");
+        assert_eq!(
+            code_portion(r#"let s = "q\" // r";"#),
+            r#"let s = "q\" // r";"#
+        );
+    }
+
+    #[test]
+    fn diagnostics_render_clickable() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            lint: "determinism",
+            message: "boom".into(),
+        };
+        assert_eq!(d.to_string(), "crates/x/src/lib.rs:7: [determinism] boom");
+    }
+}

@@ -1,0 +1,84 @@
+//! Address-hygiene lint: raw integer casts may not touch the address
+//! newtypes outside `crates/mem`.
+//!
+//! `VirtAddr`, `PhysAddr`, `Vpn` and `Ppn` exist so virtual and physical
+//! addresses cannot be mixed up; a `... as u64` / `... as usize` on a line
+//! that handles them reopens exactly that hole (and silently truncates on
+//! 32-bit `usize`). `crates/mem` owns the raw representation and is the
+//! only place allowed to convert; everyone else goes through `raw()`,
+//! `new()`, `index()` and `From` impls.
+
+use crate::{code_portion, contains_word, Diagnostic, Workspace};
+
+/// The protected newtype names (see `crates/mem/src/addr.rs`).
+const NEWTYPES: &[&str] = &["VirtAddr", "PhysAddr", "Vpn", "Ppn", "PageNum"];
+
+// concat!-split so the lint does not flag its own needle table.
+const CASTS: &[&str] = &[concat!(" as", " u64"), concat!(" as", " usize")];
+
+/// Runs the address-hygiene lint over every source outside `crates/mem`.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.sources {
+        if file.rel_path.starts_with("crates/mem/") {
+            continue;
+        }
+        for (idx, raw) in file.text.lines().enumerate() {
+            let line = code_portion(raw);
+            let newtype = NEWTYPES.iter().find(|t| contains_word(line, t));
+            let cast = CASTS.iter().find(|c| line.contains(*c));
+            if let (Some(t), Some(c)) = (newtype, cast) {
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    lint: "address-hygiene",
+                    message: format!(
+                        "`{}` on a line handling `{t}`: raw casts around address \
+                         newtypes are reserved to crates/mem (use raw()/new()/From)",
+                        c.trim_start(),
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn ws(path: &str, text: String) -> Workspace {
+        Workspace {
+            sources: vec![SourceFile::new(path, text)],
+            design_md: None,
+        }
+    }
+
+    #[test]
+    fn flags_cast_next_to_newtype() {
+        let text = format!("let v = VirtAddr::new(x{} u64);\n", concat!(" as"),);
+        let diags = check(&ws("crates/core/src/vr.rs", text));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("VirtAddr"));
+    }
+
+    #[test]
+    fn mem_crate_is_exempt() {
+        let text = format!("let v = VirtAddr::new(x{} u64);\n", concat!(" as"));
+        assert!(check(&ws("crates/mem/src/addr.rs", text)).is_empty());
+    }
+
+    #[test]
+    fn unrelated_casts_pass() {
+        let text = format!("let n = count{} u64;\n", concat!(" as"));
+        assert!(check(&ws("crates/core/src/vr.rs", text)).is_empty());
+        // Newtype on the line but no cast.
+        assert!(check(&ws(
+            "crates/core/src/vr.rs",
+            "let v = VirtAddr::new(u64::from(x));\n".into()
+        ))
+        .is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Determinism lint: simulation output must be a pure function of the
+//! seed.
+//!
+//! Two rules:
+//!
+//! 1. Wall-clock and entropy sources are forbidden in every workspace
+//!    source: `Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`.
+//!    (The criterion shim in `vendor/` is the sanctioned home for timing;
+//!    the walker never descends into `vendor/`.)
+//! 2. Hash-ordered collections are forbidden in statistics / report /
+//!    analysis code, where iteration order leaks into rendered tables:
+//!    use `BTreeMap` / `BTreeSet` or a sorted `Vec` there.
+
+use crate::{code_portion, Diagnostic, Workspace};
+
+// Spelled as concat! fragments so this file does not trip its own lint
+// when the workspace is scanned.
+const GLOBAL_NEEDLES: &[(&str, &str)] = &[
+    (
+        concat!("Instant", "::now"),
+        "wall-clock reads make runs irreproducible; timing belongs to the vendored bench harness only",
+    ),
+    (
+        concat!("System", "Time"),
+        "wall-clock reads make runs irreproducible",
+    ),
+    (
+        concat!("thread", "_rng"),
+        "OS-entropy RNG breaks seeded reproducibility; use a seeded StdRng",
+    ),
+    (
+        concat!("from_", "entropy"),
+        "OS-entropy seeding breaks reproducibility; use seed_from_u64",
+    ),
+];
+
+const HASH_NEEDLES: &[(&str, &str)] = &[
+    (
+        concat!("Hash", "Map"),
+        "hash iteration order is nondeterministic in stats/report code; use BTreeMap or a sorted Vec",
+    ),
+    (
+        concat!("Hash", "Set"),
+        "hash iteration order is nondeterministic in stats/report code; use BTreeSet or a sorted Vec",
+    ),
+];
+
+/// Path fragments that mark a file as statistics/report code.
+const STATS_PATHS: &[&str] = &["/stats.rs", "/report.rs", "/experiments/", "/src/analysis/"];
+
+/// True when `rel_path` is in the stats/report set where hash-ordered
+/// iteration is forbidden.
+pub fn is_stats_path(rel_path: &str) -> bool {
+    STATS_PATHS.iter().any(|p| rel_path.contains(p))
+}
+
+/// Runs the determinism lint over every source in `ws`.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.sources {
+        let stats = is_stats_path(&file.rel_path);
+        for (idx, raw) in file.text.lines().enumerate() {
+            let line = code_portion(raw);
+            for (needle, why) in GLOBAL_NEEDLES {
+                if line.contains(needle) {
+                    out.push(Diagnostic {
+                        file: file.rel_path.clone(),
+                        line: idx + 1,
+                        lint: "determinism",
+                        message: format!("`{needle}`: {why}"),
+                    });
+                }
+            }
+            if stats {
+                for (needle, why) in HASH_NEEDLES {
+                    if line.contains(needle) {
+                        out.push(Diagnostic {
+                            file: file.rel_path.clone(),
+                            line: idx + 1,
+                            lint: "determinism",
+                            message: format!("`{needle}`: {why}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn ws(path: &str, text: String) -> Workspace {
+        Workspace {
+            sources: vec![SourceFile::new(path, text)],
+            design_md: None,
+        }
+    }
+
+    #[test]
+    fn flags_wall_clock_and_entropy_everywhere() {
+        let text = format!(
+            "fn t() {{\n    let a = {}();\n    let r = rand::{}();\n}}\n",
+            concat!("Instant", "::now"),
+            concat!("thread", "_rng"),
+        );
+        let diags = check(&ws("crates/core/src/vr.rs", text));
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[1].line, 3);
+    }
+
+    #[test]
+    fn comments_do_not_trip() {
+        let text = format!("// mention of {} in prose\n", concat!("System", "Time"));
+        assert!(check(&ws("crates/core/src/vr.rs", text)).is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged_only_in_stats_paths() {
+        let text = format!("use std::collections::{};\n", concat!("Hash", "Map"));
+        assert!(check(&ws("crates/core/src/vr.rs", text.clone())).is_empty());
+        let diags = check(&ws("crates/sim/src/experiments/mod.rs", text.clone()));
+        assert_eq!(diags.len(), 1);
+        let diags = check(&ws("crates/cache/src/stats.rs", text));
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn stats_path_predicate() {
+        assert!(is_stats_path("crates/trace/src/analysis/calls.rs"));
+        assert!(is_stats_path("crates/sim/src/report.rs"));
+        assert!(
+            !is_stats_path("crates/analysis/src/lib.rs"),
+            "this crate is not trace analysis"
+        );
+        assert!(!is_stats_path("crates/core/src/vr.rs"));
+    }
+}

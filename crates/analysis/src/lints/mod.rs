@@ -1,0 +1,6 @@
+//! The individual lint passes.
+
+pub mod address;
+pub mod determinism;
+pub mod doc_drift;
+pub mod panic_hygiene;

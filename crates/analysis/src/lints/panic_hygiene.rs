@@ -1,0 +1,117 @@
+//! Panic-hygiene lint: no `unsafe` anywhere; no `.unwrap()` / `.expect(`
+//! in `crates/core` library code.
+//!
+//! The core crate implements the paper's algorithm; when one of its
+//! internal invariants breaks, the simulator must report a structured
+//! violation (`InvariantViolation`, `SimError::Invariant`) or take the
+//! `let .. else { unreachable!(..) }` form that names the invariant —
+//! not die inside a combinator chain. Test modules (everything after the
+//! `#[cfg(test)]` marker) are exempt, as are the other crates, whose
+//! binaries and experiment harnesses may legitimately fail fast.
+
+use crate::{code_portion, contains_word, Diagnostic, Workspace};
+
+// concat!-split so this file does not flag its own needle table.
+const UNSAFE_NEEDLE: &str = concat!("uns", "afe");
+const PANIC_NEEDLES: &[&str] = &[concat!(".unw", "rap()"), concat!(".exp", "ect(")];
+const TEST_MARKER: &str = concat!("#[cfg(", "test)]");
+
+/// Runs the panic-hygiene lint.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.sources {
+        let core_lib = file.rel_path.starts_with("crates/core/src/")
+            && !file.rel_path.starts_with("crates/core/src/bin/");
+        let mut in_tests = false;
+        for (idx, raw) in file.text.lines().enumerate() {
+            let line = code_portion(raw);
+            if line.contains(TEST_MARKER) {
+                // Workspace style keeps the test module at the bottom of
+                // the file, so everything from here on is test code.
+                in_tests = true;
+            }
+            if contains_word(line, UNSAFE_NEEDLE) {
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    lint: "panic-hygiene",
+                    message: format!(
+                        "`{UNSAFE_NEEDLE}` is forbidden across the workspace \
+                         (every crate carries #![forbid({UNSAFE_NEEDLE}_code)])"
+                    ),
+                });
+            }
+            if core_lib && !in_tests {
+                for needle in PANIC_NEEDLES {
+                    if line.contains(needle) {
+                        out.push(Diagnostic {
+                            file: file.rel_path.clone(),
+                            line: idx + 1,
+                            lint: "panic-hygiene",
+                            message: format!(
+                                "`{needle}..` in core library code: surface a typed \
+                                 invariant violation or use `let .. else` with a \
+                                 named unreachable!()"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn ws(path: &str, text: String) -> Workspace {
+        Workspace {
+            sources: vec![SourceFile::new(path, text)],
+            design_md: None,
+        }
+    }
+
+    fn unwrap_line() -> String {
+        format!("    let x = y{};\n", concat!(".unw", "rap()"))
+    }
+
+    #[test]
+    fn flags_unwrap_in_core_lib() {
+        let diags = check(&ws("crates/core/src/vr.rs", unwrap_line()));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn other_crates_may_unwrap() {
+        assert!(check(&ws("crates/sim/src/system.rs", unwrap_line())).is_empty());
+    }
+
+    #[test]
+    fn core_test_modules_may_unwrap() {
+        let text = format!("{}\nmod tests {{\n{}\n}}\n", TEST_MARKER, unwrap_line());
+        assert!(check(&ws("crates/core/src/vr.rs", text)).is_empty());
+    }
+
+    #[test]
+    fn expect_flagged_in_core_lib() {
+        let text = format!("let x = y{}\"msg\");\n", concat!(".exp", "ect("));
+        let diags = check(&ws("crates/core/src/rcache.rs", text));
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_flagged_everywhere() {
+        let text = format!("{} fn f() {{}}\n", UNSAFE_NEEDLE);
+        let diags = check(&ws("crates/trace/src/codec.rs", text));
+        assert_eq!(diags.len(), 1);
+        // ... even in test modules.
+        let text = format!(
+            "{}\nmod tests {{ {} fn f() {{}} }}\n",
+            TEST_MARKER, UNSAFE_NEEDLE
+        );
+        assert_eq!(check(&ws("crates/core/src/vr.rs", text)).len(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Workspace discovery: find the root, load tracked sources.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::{SourceFile, Workspace};
+
+/// Directories never descended into. `vendor/` holds offline shims for
+/// third-party crates (see vendor/README.md) and is exempt from the
+/// workspace's own rules; `target/` is build output.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git"];
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+/// Loads every tracked `.rs` file under `root` (skipping [`SKIP_DIRS`])
+/// plus `DESIGN.md`, into an in-memory [`Workspace`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than a missing `DESIGN.md`.
+pub fn load(root: &Path) -> io::Result<Workspace> {
+    let mut sources = Vec::new();
+    collect_rs(root, root, &mut sources)?;
+    sources.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    let design_md = fs::read_to_string(root.join("DESIGN.md")).ok();
+    Ok(Workspace { sources, design_md })
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path is under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                rel_path: rel,
+                text: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_this_workspace() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let ws = load(&root).expect("load workspace");
+        assert!(ws
+            .sources
+            .iter()
+            .any(|f| f.rel_path == "crates/core/src/vr.rs"));
+        assert!(
+            !ws.sources.iter().any(|f| f.rel_path.starts_with("vendor/")),
+            "vendor/ must be excluded"
+        );
+        assert!(ws.design_md.is_some(), "DESIGN.md loads");
+    }
+}

@@ -85,10 +85,7 @@ fn load_trace(flags: &HashMap<String, String>) -> Result<Trace, String> {
         let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
         return codec::decode(&bytes).map_err(|e| format!("decoding {path}: {e}"));
     }
-    let preset = flags
-        .get("preset")
-        .map(String::as_str)
-        .unwrap_or("pops");
+    let preset = flags.get("preset").map(String::as_str).unwrap_or("pops");
     let preset = preset_of(preset).ok_or_else(|| format!("unknown preset: {preset}"))?;
     let scale: f64 = flags
         .get("scale")
@@ -194,12 +191,7 @@ fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_layout(flags: &HashMap<String, String>) -> Result<(), String> {
-    let get = |k: &str, d: u64| -> u64 {
-        flags
-            .get(k)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(d)
-    };
+    let get = |k: &str, d: u64| -> u64 { flags.get(k).and_then(|s| s.parse().ok()).unwrap_or(d) };
     let l1 = CacheGeometry::direct_mapped(get("l1", 16 * 1024), get("block", 16))
         .map_err(|e| e.to_string())?;
     let l2 = CacheGeometry::direct_mapped(get("l2", 256 * 1024), get("block2", get("block", 16)))

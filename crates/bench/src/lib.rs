@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 //! Shared helpers for the benchmark harness and the `repro` binary.
@@ -102,8 +104,8 @@ impl Artifact {
     /// Regenerates this artifact, returning its rendered tables.
     pub fn run(self, ctx: &mut ExperimentCtx) -> Vec<TableReport> {
         use vrcache_sim::experiments::{
-            ablation, access_time, assoc, coherence, hit_ratios, protocols, scaling,
-            single_level, split_id, table5, tables_write, traffic,
+            ablation, access_time, assoc, coherence, hit_ratios, protocols, scaling, single_level,
+            split_id, table5, tables_write, traffic,
         };
         use vrcache_trace::presets::TracePreset;
         match self {
@@ -120,8 +122,7 @@ impl Artifact {
                     _ => (TracePreset::Abaqus, 6),
                 };
                 let (_, rows) = hit_ratios::table6(ctx);
-                let fig =
-                    access_time::figure(preset, &experiments::LARGE_PAIRS, &rows, 10.0, 20);
+                let fig = access_time::figure(preset, &experiments::LARGE_PAIRS, &rows, 10.0, 20);
                 let mut tables = vec![access_time::render(&fig, no)];
                 let mut xo = TableReport::new(
                     format!("Figure {no} cross-over points ({preset})"),

@@ -164,7 +164,9 @@ mod tests {
     #[test]
     fn initial_version_reads_ok() {
         let mut o = VersionOracle::new();
-        assert!(o.check_read(cpu(0), BlockId::new(1), Version::INITIAL).is_ok());
+        assert!(o
+            .check_read(cpu(0), BlockId::new(1), Version::INITIAL)
+            .is_ok());
         assert_eq!(o.checks(), 1);
     }
 
@@ -200,7 +202,9 @@ mod tests {
         let mut o = VersionOracle::new();
         o.on_write(cpu(0), BlockId::new(1));
         // A different block is still pristine.
-        assert!(o.check_read(cpu(1), BlockId::new(2), Version::INITIAL).is_ok());
+        assert!(o
+            .check_read(cpu(1), BlockId::new(2), Version::INITIAL)
+            .is_ok());
     }
 
     #[test]

@@ -185,7 +185,11 @@ impl<M> CacheArray<M> {
         let (way, fell_back) = match state.victim(self.policy, preferred_mask, draw) {
             Some(w) => (w, false),
             None => {
-                let all = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+                let all = if ways == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << ways) - 1
+                };
                 let w = state
                     .victim(self.policy, all, draw)
                     .expect("set has valid ways");

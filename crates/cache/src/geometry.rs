@@ -83,7 +83,9 @@ impl CacheGeometry {
             }
         }
         if assoc == 0 {
-            return Err(MemError::Zero { what: "associativity" });
+            return Err(MemError::Zero {
+                what: "associativity",
+            });
         }
         if !assoc.is_power_of_two() {
             return Err(MemError::NotPowerOfTwo {

@@ -83,14 +83,13 @@ impl SetState {
     /// Returns `None` when `candidates` selects no way. `rng_draw` supplies
     /// entropy for [`ReplacementPolicy::Random`] (callers thread a
     /// deterministic stream through).
-    pub fn victim(
-        &self,
-        policy: ReplacementPolicy,
-        candidates: u64,
-        rng_draw: u64,
-    ) -> Option<u32> {
+    pub fn victim(&self, policy: ReplacementPolicy, candidates: u64, rng_draw: u64) -> Option<u32> {
         let ways = self.ways();
-        let mask = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+        let mask = if ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << ways) - 1
+        };
         let candidates = candidates & mask;
         if candidates == 0 {
             return None;
@@ -115,7 +114,10 @@ impl SetState {
         if ways == 1 {
             return;
         }
-        debug_assert!(ways.is_power_of_two(), "tree-plru requires power-of-two ways");
+        debug_assert!(
+            ways.is_power_of_two(),
+            "tree-plru requires power-of-two ways"
+        );
         let levels = ways.trailing_zeros();
         let mut node = 0u32; // node index within the implicit tree, root = 0
         for level in 0..levels {
@@ -147,7 +149,11 @@ impl SetState {
             let subtree_mask = |dir: u32| -> u64 {
                 let lo = (way | (dir << shift)) & !((1 << shift) - 1);
                 let width = 1u64 << shift;
-                let bits = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+                let bits = if width == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << width) - 1
+                };
                 bits << lo
             };
             let dir = if candidates & subtree_mask(preferred) != 0 {
@@ -190,7 +196,11 @@ impl XorShift64 {
     /// constant).
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -263,10 +273,15 @@ mod tests {
         let mut rng = XorShift64::new(7);
         let mut seen = [false; 4];
         for _ in 0..200 {
-            let v = s.victim(ReplacementPolicy::Random, 0b1111, rng.next_u64()).unwrap();
+            let v = s
+                .victim(ReplacementPolicy::Random, 0b1111, rng.next_u64())
+                .unwrap();
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&b| b), "all ways should eventually be picked");
+        assert!(
+            seen.iter().all(|&b| b),
+            "all ways should eventually be picked"
+        );
     }
 
     #[test]

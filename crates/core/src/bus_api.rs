@@ -109,9 +109,20 @@ mod tests {
     #[test]
     fn request_block_accessor() {
         let b = BlockId::new(7);
-        assert_eq!(BusRequest::ReadMiss { block: b, subblocks: 1 }.block(), b);
         assert_eq!(
-            BusRequest::ReadModifiedWrite { block: b, subblocks: 2 }.block(),
+            BusRequest::ReadMiss {
+                block: b,
+                subblocks: 1
+            }
+            .block(),
+            b
+        );
+        assert_eq!(
+            BusRequest::ReadModifiedWrite {
+                block: b,
+                subblocks: 2
+            }
+            .block(),
             b
         );
         assert_eq!(BusRequest::Invalidate { block: b }.block(), b);

@@ -1,5 +1,7 @@
 //! Hierarchy configuration.
 
+use std::num::NonZeroU64;
+
 use serde::{Deserialize, Serialize};
 use vrcache_cache::geometry::CacheGeometry;
 use vrcache_cache::replacement::ReplacementPolicy;
@@ -117,6 +119,18 @@ pub struct HierarchyConfig {
     /// The bus coherence protocol (V-R hierarchy; the baselines implement
     /// the invalidation protocol only).
     pub protocol: CoherenceProtocol,
+    /// Re-verify the structural invariants (inclusion linkage, v-pointer
+    /// symmetry, buffer-bit agreement) after mutating operations: `None`
+    /// disarms the checker (the default — one branch per operation),
+    /// `Some(n)` verifies after every `n`-th access/snoop/context
+    /// switch/TLB shootdown. Each verification walks the whole hierarchy,
+    /// so period 1 suits small targeted tests while trace-scale runs use
+    /// a sampling period (see [`with_sampled_runtime_checks`]) — at
+    /// paper-sized geometries a per-access walk slows simulation by
+    /// orders of magnitude.
+    ///
+    /// [`with_sampled_runtime_checks`]: HierarchyConfig::with_sampled_runtime_checks
+    pub runtime_checks: Option<NonZeroU64>,
 }
 
 impl HierarchyConfig {
@@ -156,6 +170,7 @@ impl HierarchyConfig {
             l1_write_policy: L1WritePolicy::default(),
             context_switch_policy: ContextSwitchPolicy::default(),
             protocol: CoherenceProtocol::default(),
+            runtime_checks: None,
         })
     }
 
@@ -166,11 +181,7 @@ impl HierarchyConfig {
     /// # Errors
     ///
     /// Propagates geometry validation failures.
-    pub fn direct_mapped(
-        l1_bytes: u64,
-        l2_bytes: u64,
-        block_bytes: u64,
-    ) -> Result<Self, MemError> {
+    pub fn direct_mapped(l1_bytes: u64, l2_bytes: u64, block_bytes: u64) -> Result<Self, MemError> {
         let l1 = CacheGeometry::direct_mapped(l1_bytes, block_bytes)?;
         let l2 = CacheGeometry::direct_mapped(l2_bytes, block_bytes)?;
         Self::new(l1, l2, PageSize::SIZE_4K)
@@ -243,6 +254,25 @@ impl HierarchyConfig {
         self
     }
 
+    /// Arms (or disarms) the structural invariant checker at period 1:
+    /// re-verify after *every* mutating operation.
+    #[must_use]
+    pub fn with_runtime_checks(mut self, enabled: bool) -> Self {
+        self.runtime_checks = if enabled { NonZeroU64::new(1) } else { None };
+        self
+    }
+
+    /// Arms the structural invariant checker at a sampling period:
+    /// re-verify after every `period`-th mutating operation (a period of
+    /// 0 is treated as 1). This is the form trace-scale tests use — full
+    /// coverage of the invariants without a full hierarchy walk on every
+    /// one of hundreds of thousands of references.
+    #[must_use]
+    pub fn with_sampled_runtime_checks(mut self, period: u64) -> Self {
+        self.runtime_checks = NonZeroU64::new(period.max(1));
+        self
+    }
+
     /// Number of first-level blocks per second-level block (`B2/B1`).
     pub fn subblocks(&self) -> u32 {
         self.l2.subblocks_per_block(&self.l1)
@@ -258,7 +288,9 @@ impl HierarchyConfig {
         CacheGeometry::new(
             self.l1.size_bytes() / 2,
             self.l1.block_bytes(),
-            self.l1.assoc().min((self.l1.size_bytes() / 2 / self.l1.block_bytes()) as u32),
+            self.l1
+                .assoc()
+                .min((self.l1.size_bytes() / 2 / self.l1.block_bytes()) as u32),
         )
     }
 }

@@ -39,6 +39,7 @@ use crate::bus_api::{BusRequest, SnoopReply, SystemBus};
 use crate::config::HierarchyConfig;
 use crate::events::HierarchyEvents;
 use crate::hierarchy::{AccessOutcome, CacheHierarchy, SynonymKind};
+use crate::invariant::{InvariantExpect, InvariantViolation};
 use crate::vcache::{VCache, VMeta};
 
 /// Goodman-style single-level dual-tag virtual cache.
@@ -140,7 +141,9 @@ impl GoodmanHierarchy {
             if let Some(prev) = self.last_wb_at {
                 // Bulk retirement (e.g. a TLB shootdown) can retire several
                 // lines within one reference; clamp to the 1-based histogram.
-                self.events.writeback_intervals.record((self.refs - prev).max(1));
+                self.events
+                    .writeback_intervals
+                    .record((self.refs - prev).max(1));
             }
             self.last_wb_at = Some(self.refs);
             if line.meta.swapped {
@@ -184,7 +187,7 @@ impl CacheHierarchy for GoodmanHierarchy {
                     self.obtain_write_permission(p1, bus);
                 }
                 let v = oracle.on_write(self.cpu, p1);
-                let line = self.l1.peek_mut(vblock).expect("just hit");
+                let line = self.l1.peek_mut(vblock).invariant_expect("just hit");
                 line.meta.dirty = true;
                 line.meta.version = v;
             } else {
@@ -210,12 +213,12 @@ impl CacheHierarchy for GoodmanHierarchy {
 
         // ---- real-directory lookup: synonym? ----
         let synonym = if let Some(old_vblock) = self.reverse.get(&p1).copied() {
-            let same_set = self.l1.geometry().set_of(old_vblock)
-                == self.l1.geometry().set_of(vblock);
+            let same_set =
+                self.l1.geometry().set_of(old_vblock) == self.l1.geometry().set_of(vblock);
             let old = self
                 .l1
                 .invalidate(old_vblock)
-                .expect("real directory points at a resident line");
+                .invariant_expect("real directory points at a resident line");
             debug_assert_eq!(old.meta.p_block, p1);
             let out = self.l1.fill(
                 vblock,
@@ -276,12 +279,17 @@ impl CacheHierarchy for GoodmanHierarchy {
                 self.obtain_write_permission(p1, bus);
             }
             let v = oracle.on_write(self.cpu, p1);
-            let line = self.l1.peek_mut(vblock).expect("just installed");
+            let line = self.l1.peek_mut(vblock).invariant_expect("just installed");
             line.meta.dirty = true;
             line.meta.version = v;
             self.private.insert(p1, true);
         } else {
-            let version = self.l1.peek(vblock).expect("just installed").meta.version;
+            let version = self
+                .l1
+                .peek(vblock)
+                .invariant_expect("just installed")
+                .meta
+                .version;
             oracle.check_read(self.cpu, p1, version)?;
         }
 
@@ -338,7 +346,7 @@ impl CacheHierarchy for GoodmanHierarchy {
                     let line = self
                         .l1
                         .peek_mut(vblock)
-                        .expect("real directory points at a resident line");
+                        .invariant_expect("real directory points at a resident line");
                     if line.meta.dirty {
                         // flush(v): the only time the virtual side is
                         // disturbed by a read.
@@ -353,7 +361,7 @@ impl CacheHierarchy for GoodmanHierarchy {
                     let line = self
                         .l1
                         .invalidate(vblock)
-                        .expect("real directory points at a resident line");
+                        .invariant_expect("real directory points at a resident line");
                     if txn.op == BusOp::ReadModifiedWrite && line.meta.dirty {
                         self.events.flush_v += 1;
                         reply.l1_messages += 1;
@@ -400,31 +408,31 @@ impl CacheHierarchy for GoodmanHierarchy {
         WriteBufferStats::default()
     }
 
-    fn check_invariants(&self) -> Result<(), String> {
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
         // The real directory and the virtual tags must be a bijection.
         for line in self.l1.iter() {
             match self.reverse.get(&line.meta.p_block) {
                 Some(v) if *v == line.block => {}
                 Some(v) => {
-                    return Err(format!(
+                    return Err(InvariantViolation::other(format!(
                         "real directory maps {:?} to {:?}, cache holds it at {:?}",
                         line.meta.p_block, v, line.block
-                    ));
+                    )));
                 }
                 None => {
-                    return Err(format!(
+                    return Err(InvariantViolation::other(format!(
                         "cached block {:?} missing from the real directory",
                         line.meta.p_block
-                    ));
+                    )));
                 }
             }
         }
         if self.reverse.len() != self.l1.occupancy() {
-            return Err(format!(
+            return Err(InvariantViolation::other(format!(
                 "real directory has {} entries for {} cached lines",
                 self.reverse.len(),
                 self.l1.occupancy()
-            ));
+            )));
         }
         Ok(())
     }

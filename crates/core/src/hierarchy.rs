@@ -10,6 +10,7 @@ use vrcache_trace::record::MemAccess;
 
 use crate::bus_api::{SnoopReply, SystemBus};
 use crate::events::HierarchyEvents;
+use crate::invariant::InvariantViolation;
 
 /// How a V-cache miss that hit in the R-cache found its data already
 /// resident under another virtual address.
@@ -106,12 +107,15 @@ pub trait CacheHierarchy: Send {
 
     /// Verifies the structural invariants (inclusion, pointer symmetry,
     /// at-most-one V copy per physical block, buffer-bit/write-buffer
-    /// agreement).
+    /// agreement). The V-R hierarchy also re-runs this automatically after
+    /// every mutating operation when
+    /// [`runtime_checks`](crate::config::HierarchyConfig::runtime_checks)
+    /// is armed.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant.
-    fn check_invariants(&self) -> Result<(), String>;
+    /// Returns the first violated invariant.
+    fn check_invariants(&self) -> Result<(), InvariantViolation>;
 }
 
 #[cfg(test)]

@@ -38,11 +38,7 @@ use vrcache_mem::page::PageSize;
 /// # Ok(())
 /// # }
 /// ```
-pub fn min_l2_assoc_for_inclusion(
-    l1: &CacheGeometry,
-    l2: &CacheGeometry,
-    page: PageSize,
-) -> u64 {
+pub fn min_l2_assoc_for_inclusion(l1: &CacheGeometry, l2: &CacheGeometry, page: PageSize) -> u64 {
     let size_ratio = l1.size_bytes().div_ceil(page.bytes());
     let block_ratio = l2.block_bytes() / l1.block_bytes();
     size_ratio * block_ratio
@@ -52,11 +48,7 @@ pub fn min_l2_assoc_for_inclusion(
 /// strict-inclusion bound. When this returns `false`, inclusion is still
 /// maintained by the relaxed replacement rule, at the cost of occasional
 /// *inclusion invalidations* into the first level.
-pub fn satisfies_inclusion_bound(
-    l1: &CacheGeometry,
-    l2: &CacheGeometry,
-    page: PageSize,
-) -> bool {
+pub fn satisfies_inclusion_bound(l1: &CacheGeometry, l2: &CacheGeometry, page: PageSize) -> bool {
     // When the L1 fits within a page (B1*S1 <= pagesize), virtual and
     // physical indexing agree and the earlier (ISCA'88) analysis applies:
     // direct support suffices.

@@ -162,7 +162,10 @@ mod tests {
         let l1 = CacheGeometry::direct_mapped(4 * 1024, 16).unwrap();
         let l2 = CacheGeometry::direct_mapped(64 * 1024, 16).unwrap();
         let t = TagLayout::compute(32, PageSize::SIZE_4K, &l1, &l2);
-        assert_eq!(t.v_pointer_bits, 0, "a page-sized V-cache needs no pointer bits");
+        assert_eq!(
+            t.v_pointer_bits, 0,
+            "a page-sized V-cache needs no pointer bits"
+        );
         assert_eq!(t.r_pointer_bits, 4);
         assert_eq!(t.subentries, 1);
     }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 //! # vrcache — a two-level virtual-real cache hierarchy
@@ -65,6 +67,7 @@ pub mod events;
 pub mod goodman;
 pub mod hierarchy;
 pub mod inclusion;
+pub mod invariant;
 pub mod layout;
 pub mod rcache;
 pub mod rr;

@@ -189,7 +189,8 @@ impl RCache {
     /// [`FillOutcome::fell_back`] is set the caller must invalidate the
     /// victim's first-level children — an *inclusion invalidation*.
     pub fn fill(&mut self, p2: BlockId, meta: RMeta) -> FillOutcome<RMeta> {
-        self.array.fill(p2, meta, |line| line.meta.inclusion_clear())
+        self.array
+            .fill(p2, meta, |line| line.meta.inclusion_clear())
     }
 
     /// Invalidates L2 block `p2` (bus-induced), returning the line.

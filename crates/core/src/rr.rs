@@ -33,6 +33,7 @@ use crate::bus_api::{BusRequest, SnoopReply, SystemBus};
 use crate::config::{HierarchyConfig, L1Organization};
 use crate::events::HierarchyEvents;
 use crate::hierarchy::{AccessOutcome, CacheHierarchy};
+use crate::invariant::{InvariantExpect, InvariantViolation};
 use crate::rcache::{ChildCache, CohState, RCache, RMeta};
 
 /// Whether the baseline maintains inclusion between its levels.
@@ -142,12 +143,7 @@ impl RrHierarchy {
     /// Completes a pending write-back into the second level (or straight to
     /// memory when the non-inclusive second level no longer holds the
     /// block).
-    fn complete_writeback(
-        &mut self,
-        block: BlockId,
-        version: Version,
-        bus: &mut dyn SystemBus,
-    ) {
+    fn complete_writeback(&mut self, block: BlockId, version: Version, bus: &mut dyn SystemBus) {
         let p2 = self.l2.l2_block_of(block);
         let si = self.l2.sub_index(block);
         if let Some(line) = self.l2.peek_mut(p2) {
@@ -178,7 +174,7 @@ impl RrHierarchy {
             let line = self
                 .l2
                 .peek_mut(p2)
-                .expect("inclusion property: L1 victim must have an L2 parent");
+                .invariant_expect("inclusion property: L1 victim must have an L2 parent");
             let sub = &mut line.meta.subs[si];
             debug_assert!(sub.inclusion);
             sub.inclusion = false;
@@ -193,7 +189,9 @@ impl RrHierarchy {
             if let Some(prev) = self.last_wb_at {
                 // Bulk retirement (e.g. a TLB shootdown) can retire several
                 // lines within one reference; clamp to the 1-based histogram.
-                self.events.writeback_intervals.record((self.refs - prev).max(1));
+                self.events
+                    .writeback_intervals
+                    .record((self.refs - prev).max(1));
             }
             self.last_wb_at = Some(self.refs);
             if let Some(forced) = self.wb.push(p1, victim.meta.version, self.refs) {
@@ -212,7 +210,7 @@ impl RrHierarchy {
                     let e = self
                         .wb
                         .force_complete(granules[i])
-                        .expect("buffer bit implies a pending write");
+                        .invariant_expect("buffer bit implies a pending write");
                     sub.version = e.payload;
                     sub.buffer = false;
                     meta.rdirty = true;
@@ -222,7 +220,7 @@ impl RrHierarchy {
                     let line = self
                         .l1
                         .invalidate(sub.v_block)
-                        .expect("inclusion bit implies an L1 child");
+                        .invariant_expect("inclusion bit implies an L1 child");
                     if line.meta.dirty {
                         sub.version = line.meta.version;
                         meta.rdirty = true;
@@ -270,7 +268,7 @@ impl RrHierarchy {
         if self.inclusive() {
             let p2 = self.l2.l2_block_of(p1);
             let si = self.l2.sub_index(p1);
-            let line = self.l2.peek_mut(p2).expect("resident parent");
+            let line = self.l2.peek_mut(p2).invariant_expect("resident parent");
             let sub = &mut line.meta.subs[si];
             sub.inclusion = true;
             sub.v_block = p1;
@@ -284,11 +282,7 @@ impl RrHierarchy {
     fn obtain_write_permission(&mut self, p1: BlockId, bus: &mut dyn SystemBus) {
         let p2 = self.l2.l2_block_of(p1);
         let si = self.l2.sub_index(p1);
-        let l1_private = self
-            .l1
-            .peek(p1)
-            .map(|l| l.meta.private)
-            .unwrap_or(false);
+        let l1_private = self.l1.peek(p1).map(|l| l.meta.private).unwrap_or(false);
         let l2_state = self.l2.peek(p2).map(|l| l.meta.state);
         // The second level's state is authoritative whenever the line is
         // resident (foreign reads demote it to shared without telling the
@@ -330,7 +324,7 @@ impl RrHierarchy {
                         let l1_line = self
                             .l1
                             .peek_mut(granules[i])
-                            .expect("vdirty implies an L1 child");
+                            .invariant_expect("vdirty implies an L1 child");
                         debug_assert!(l1_line.meta.dirty);
                         l1_line.meta.dirty = false;
                         l1_line.meta.private = false;
@@ -342,7 +336,7 @@ impl RrHierarchy {
                         let e = self
                             .wb
                             .coherence_take(granules[i])
-                            .expect("buffer bit implies a pending write");
+                            .invariant_expect("buffer bit implies a pending write");
                         upstream.push((i, e.payload));
                     }
                 }
@@ -469,7 +463,7 @@ impl CacheHierarchy for RrHierarchy {
                     self.obtain_write_permission(p1, bus);
                 }
                 let v = oracle.on_write(self.cpu, p1);
-                let line = self.l1.peek_mut(p1).expect("line just hit");
+                let line = self.l1.peek_mut(p1).invariant_expect("line just hit");
                 line.meta.dirty = true;
                 line.meta.private = true;
                 line.meta.version = v;
@@ -541,16 +535,21 @@ impl CacheHierarchy for RrHierarchy {
                 self.obtain_write_permission(p1, bus);
             } else if self.inclusive() {
                 let si = self.l2.sub_index(p1);
-                let line = self.l2.peek_mut(p2).expect("resident");
+                let line = self.l2.peek_mut(p2).invariant_expect("resident");
                 line.meta.subs[si].vdirty = true;
             }
             let v = oracle.on_write(self.cpu, p1);
-            let line = self.l1.peek_mut(p1).expect("just installed");
+            let line = self.l1.peek_mut(p1).invariant_expect("just installed");
             line.meta.dirty = true;
             line.meta.private = true;
             line.meta.version = v;
         } else {
-            let version = self.l1.peek(p1).expect("just installed").meta.version;
+            let version = self
+                .l1
+                .peek(p1)
+                .invariant_expect("just installed")
+                .meta
+                .version;
             oracle.check_read(self.cpu, p1, version)?;
         }
 
@@ -623,40 +622,42 @@ impl CacheHierarchy for RrHierarchy {
         self.wb.stats()
     }
 
-    fn check_invariants(&self) -> Result<(), String> {
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
         if self.inclusive() {
             for line in self.l1.iter() {
                 let p2 = self.l2.l2_block_of(line.block);
                 let si = self.l2.sub_index(line.block);
-                let parent = self
-                    .l2
-                    .peek(p2)
-                    .ok_or_else(|| format!("L1 line {:?} has no L2 parent", line.block))?;
+                let parent = self.l2.peek(p2).ok_or_else(|| {
+                    InvariantViolation::other(format!("L1 line {:?} has no L2 parent", line.block))
+                })?;
                 let sub = &parent.meta.subs[si];
                 if !sub.inclusion {
-                    return Err(format!(
+                    return Err(InvariantViolation::other(format!(
                         "L1 line {:?}: parent inclusion bit clear",
                         line.block
-                    ));
+                    )));
                 }
                 if sub.v_block != line.block {
-                    return Err(format!("L1 line {:?}: pointer mismatch", line.block));
+                    return Err(InvariantViolation::other(format!(
+                        "L1 line {:?}: pointer mismatch",
+                        line.block
+                    )));
                 }
             }
             for rline in self.l2.iter() {
                 let granules = self.l2.granules_of(rline.block);
                 for (i, sub) in rline.meta.subs.iter().enumerate() {
                     if sub.inclusion && self.l1.peek(granules[i]).is_none() {
-                        return Err(format!(
+                        return Err(InvariantViolation::other(format!(
                             "L2 line {:?} sub {i}: dangling inclusion bit",
                             rline.block
-                        ));
+                        )));
                     }
                     if sub.buffer && !self.wb.contains(granules[i]) {
-                        return Err(format!(
+                        return Err(InvariantViolation::other(format!(
                             "L2 line {:?} sub {i}: dangling buffer bit",
                             rline.block
-                        ));
+                        )));
                     }
                 }
             }

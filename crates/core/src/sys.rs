@@ -43,7 +43,10 @@ impl SystemBus for LoopbackBus {
                 self.stats.record(BusOp::ReadMiss, false);
                 let base = block.raw() * u64::from(subblocks);
                 let granule_versions = (0..u64::from(subblocks))
-                    .map(|i| self.memory.read(vrcache_cache::geometry::BlockId::new(base + i)))
+                    .map(|i| {
+                        self.memory
+                            .read(vrcache_cache::geometry::BlockId::new(base + i))
+                    })
                     .collect();
                 BusResponse {
                     shared_elsewhere: false,
@@ -54,7 +57,10 @@ impl SystemBus for LoopbackBus {
                 self.stats.record(BusOp::ReadModifiedWrite, false);
                 let base = block.raw() * u64::from(subblocks);
                 let granule_versions = (0..u64::from(subblocks))
-                    .map(|i| self.memory.read(vrcache_cache::geometry::BlockId::new(base + i)))
+                    .map(|i| {
+                        self.memory
+                            .read(vrcache_cache::geometry::BlockId::new(base + i))
+                    })
                     .collect();
                 BusResponse {
                     shared_elsewhere: false,

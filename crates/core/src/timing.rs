@@ -48,7 +48,10 @@ impl AccessTimeModel {
     /// Panics if a ratio is outside `[0, 1]`.
     pub fn avg_access_time(&self, h1: f64, h2_local: f64) -> f64 {
         assert!((0.0..=1.0).contains(&h1), "h1 out of range: {h1}");
-        assert!((0.0..=1.0).contains(&h2_local), "h2 out of range: {h2_local}");
+        assert!(
+            (0.0..=1.0).contains(&h2_local),
+            "h2 out of range: {h2_local}"
+        );
         h1 * self.t1 + (1.0 - h1) * h2_local * self.t2 + (1.0 - h1) * (1.0 - h2_local) * self.tm
     }
 
@@ -108,9 +111,7 @@ pub fn slowdown_sweep(
     (0..=steps)
         .map(|i| {
             let pct = max_pct * f64::from(i) / f64::from(steps);
-            let t_rr = model
-                .with_l1_slowdown(pct)
-                .avg_access_time(h1_rr, h2_rr);
+            let t_rr = model.with_l1_slowdown(pct).avg_access_time(h1_rr, h2_rr);
             SweepPoint {
                 slowdown_pct: pct,
                 t_vr,
@@ -182,13 +183,7 @@ mod tests {
 
     #[test]
     fn sweep_is_monotone_in_rr_time() {
-        let pts = slowdown_sweep(
-            AccessTimeModel::PAPER,
-            (0.95, 0.5),
-            (0.95, 0.5),
-            10.0,
-            10,
-        );
+        let pts = slowdown_sweep(AccessTimeModel::PAPER, (0.95, 0.5), (0.95, 0.5), 10.0, 10);
         assert_eq!(pts.len(), 11);
         assert_eq!(pts[0].slowdown_pct, 0.0);
         assert_eq!(pts[10].slowdown_pct, 10.0);
@@ -200,13 +195,7 @@ mod tests {
 
     #[test]
     fn equal_ratios_cross_immediately() {
-        let pts = slowdown_sweep(
-            AccessTimeModel::PAPER,
-            (0.95, 0.5),
-            (0.95, 0.5),
-            10.0,
-            10,
-        );
+        let pts = slowdown_sweep(AccessTimeModel::PAPER, (0.95, 0.5), (0.95, 0.5), 10.0, 10);
         assert_eq!(crossover_pct(&pts), Some(0.0));
     }
 
@@ -229,13 +218,7 @@ mod tests {
 
     #[test]
     fn never_crossing_returns_none() {
-        let pts = slowdown_sweep(
-            AccessTimeModel::PAPER,
-            (0.5, 0.5),
-            (0.99, 0.99),
-            2.0,
-            10,
-        );
+        let pts = slowdown_sweep(AccessTimeModel::PAPER, (0.5, 0.5), (0.99, 0.99), 2.0, 10);
         assert_eq!(crossover_pct(&pts), None);
     }
 }

@@ -208,7 +208,11 @@ mod tests {
         v.fill(BlockId::new(1), meta(1));
         v.fill(BlockId::new(2), meta(2));
         assert_eq!(v.mark_all_swapped(), 2);
-        assert_eq!(v.mark_all_swapped(), 0, "already swapped lines not recounted");
+        assert_eq!(
+            v.mark_all_swapped(),
+            0,
+            "already swapped lines not recounted"
+        );
     }
 
     #[test]
@@ -222,9 +226,9 @@ mod tests {
         v.fill(BlockId::new(0), meta(100));
         v.mark_all_swapped();
         v.fill(BlockId::new(1), meta(101)); // live line, more recent
-        // Next fill should evict the swapped block 0 even though block 0 is
-        // not LRU-oldest... (it is oldest here, but the preference is what
-        // guarantees it in general).
+                                            // Next fill should evict the swapped block 0 even though block 0 is
+                                            // not LRU-oldest... (it is oldest here, but the preference is what
+                                            // guarantees it in general).
         let out = v.fill(BlockId::new(2), meta(102));
         let evicted = out.evicted.unwrap();
         assert_eq!(evicted.block, BlockId::new(0));

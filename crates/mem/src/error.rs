@@ -80,7 +80,10 @@ mod tests {
             min: 8,
         };
         assert_eq!(e.to_string(), "page size must be at least 8, got 2");
-        assert_eq!(MemError::AlreadyMapped.to_string(), "virtual page is already mapped");
+        assert_eq!(
+            MemError::AlreadyMapped.to_string(),
+            "virtual page is already mapped"
+        );
         assert_eq!(MemError::Unmapped.to_string(), "virtual page is not mapped");
     }
 

@@ -155,7 +155,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_sizes() {
-        assert_eq!(PageSize::new(0).unwrap_err(), MemError::Zero { what: "page size" });
+        assert_eq!(
+            PageSize::new(0).unwrap_err(),
+            MemError::Zero { what: "page size" }
+        );
         assert!(matches!(
             PageSize::new(3000),
             Err(MemError::NotPowerOfTwo { value: 3000, .. })

@@ -240,7 +240,10 @@ mod tests {
         let a = Asid::new(1);
         let pa = m.translate_or_map(a, VirtAddr::new(0x4000));
         let ppn = m.page_size().ppn_of(pa);
-        assert_eq!(m.alias(a, VirtAddr::new(0x4000), ppn), Err(MemError::AlreadyMapped));
+        assert_eq!(
+            m.alias(a, VirtAddr::new(0x4000), ppn),
+            Err(MemError::AlreadyMapped)
+        );
     }
 
     #[test]
@@ -248,7 +251,10 @@ mod tests {
         let mut m = map4k();
         let a = Asid::new(1);
         m.map_fresh(a, VirtAddr::new(0x1000)).unwrap();
-        assert_eq!(m.map_fresh(a, VirtAddr::new(0x1000)), Err(MemError::AlreadyMapped));
+        assert_eq!(
+            m.map_fresh(a, VirtAddr::new(0x1000)),
+            Err(MemError::AlreadyMapped)
+        );
     }
 
     #[test]

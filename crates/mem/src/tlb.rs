@@ -41,7 +41,9 @@ impl TlbConfig {
     /// `ways > entries`.
     pub fn new(entries: u32, ways: u32) -> Result<Self, MemError> {
         if entries == 0 {
-            return Err(MemError::Zero { what: "tlb entries" });
+            return Err(MemError::Zero {
+                what: "tlb entries",
+            });
         }
         if ways == 0 {
             return Err(MemError::Zero { what: "tlb ways" });
@@ -87,7 +89,10 @@ impl TlbConfig {
 impl Default for TlbConfig {
     /// 64 entries, fully... no: 2-way, a common late-1980s design point.
     fn default() -> Self {
-        TlbConfig { entries: 64, ways: 2 }
+        TlbConfig {
+            entries: 64,
+            ways: 2,
+        }
     }
 }
 
@@ -247,7 +252,10 @@ impl Tlb {
         let range = self.set_range(vpn);
         // Refill over an existing matching or invalid entry first.
         let set = &mut self.entries[range];
-        if let Some(e) = set.iter_mut().find(|e| e.valid && e.asid == asid && e.vpn == vpn) {
+        if let Some(e) = set
+            .iter_mut()
+            .find(|e| e.valid && e.asid == asid && e.vpn == vpn)
+        {
             e.ppn = ppn;
             e.stamp = clock;
             return;

@@ -83,11 +83,22 @@ fn buffer_stats(
 pub fn render_write_policy(rows: &[WritePolicyRow]) -> TableReport {
     let mut t = TableReport::new(
         "Ablation: write-back vs write-through first level (pops, 16K/256K)",
-        vec!["policy", "buffers", "h1", "stalls / 1k refs", "writes forwarded"],
+        vec![
+            "policy",
+            "buffers",
+            "h1",
+            "stalls / 1k refs",
+            "writes forwarded",
+        ],
     );
     for r in rows {
         t.row(vec![
-            if r.write_through { "write-through" } else { "write-back" }.into(),
+            if r.write_through {
+                "write-through"
+            } else {
+                "write-back"
+            }
+            .into(),
             r.depth.to_string(),
             ratio(r.h1),
             format!("{:.2}", r.stalls_per_kref),
@@ -153,8 +164,7 @@ pub fn context_switch_ablation(ctx: &mut ExperimentCtx) -> Vec<ContextSwitchRow>
     SwitchScheme::ALL
         .iter()
         .map(|scheme| {
-            let cfg =
-                HierarchyConfig::direct_mapped(16 * 1024, 256 * 1024, 16).expect("valid");
+            let cfg = HierarchyConfig::direct_mapped(16 * 1024, 256 * 1024, 16).expect("valid");
             let cfg = match scheme {
                 SwitchScheme::SwappedValid => cfg,
                 SwitchScheme::EagerFlush => cfg.with_eager_flush(),
@@ -162,8 +172,7 @@ pub fn context_switch_ablation(ctx: &mut ExperimentCtx) -> Vec<ContextSwitchRow>
             };
             let run = run_kind(&trace, &cfg, HierarchyKind::Vr);
             let switches: u64 = run.events.iter().map(|e| e.context_switches).sum();
-            let eager_writebacks: u64 =
-                run.events.iter().map(|e| e.eager_flush_writebacks).sum();
+            let eager_writebacks: u64 = run.events.iter().map(|e| e.eager_flush_writebacks).sum();
             let swapped: u64 = run.events.iter().map(|e| e.swapped_writebacks).sum();
             ContextSwitchRow {
                 scheme: *scheme,
@@ -216,8 +225,14 @@ mod tests {
         let mut ctx = ExperimentCtx::new(0.01);
         let rows = write_policy_ablation(&mut ctx);
         assert_eq!(rows.len(), 8);
-        let wb1 = rows.iter().find(|r| !r.write_through && r.depth == 1).unwrap();
-        let wt1 = rows.iter().find(|r| r.write_through && r.depth == 1).unwrap();
+        let wb1 = rows
+            .iter()
+            .find(|r| !r.write_through && r.depth == 1)
+            .unwrap();
+        let wt1 = rows
+            .iter()
+            .find(|r| r.write_through && r.depth == 1)
+            .unwrap();
         assert!(
             wt1.h1 < wb1.h1,
             "no-write-allocate must lower h1: wt {} wb {}",
@@ -246,7 +261,10 @@ mod tests {
         assert_eq!(lazy.scheme, SwitchScheme::SwappedValid);
         assert_eq!(lazy.eager_writebacks, 0);
         assert!(eager.eager_writebacks > 0, "no switch-time bursts measured");
-        assert!(lazy.swapped_writebacks > 0, "no incremental write-backs measured");
+        assert!(
+            lazy.swapped_writebacks > 0,
+            "no incremental write-backs measured"
+        );
         assert!(
             eager.avg_burst > 3.0,
             "bursts should be many blocks: {}",
@@ -257,7 +275,12 @@ mod tests {
         assert_eq!(tags.swapped_writebacks, 0);
         // ...and (paper's observation) a hit ratio at least as good as the
         // flushing schemes.
-        assert!(tags.h1 >= lazy.h1 - 0.005, "tags {} vs lazy {}", tags.h1, lazy.h1);
+        assert!(
+            tags.h1 >= lazy.h1 - 0.005,
+            "tags {} vs lazy {}",
+            tags.h1,
+            lazy.h1
+        );
     }
 
     #[test]

@@ -53,11 +53,7 @@ pub fn assoc_sweep(ctx: &mut ExperimentCtx, preset: TracePreset) -> Vec<AssocPoi
                 required_ways: required,
                 h1: run.summary.h1,
                 h2: run.summary.h2_local,
-                inclusion_invalidations: run
-                    .events
-                    .iter()
-                    .map(|e| e.inclusion_invalidations)
-                    .sum(),
+                inclusion_invalidations: run.events.iter().map(|e| e.inclusion_invalidations).sum(),
             });
         }
     }
@@ -102,8 +98,7 @@ mod tests {
         // Within each L1 associativity, the invalidation count falls
         // (weakly) as L2 ways grow toward the bound.
         for l1_ways in [1u32, 2] {
-            let series: Vec<&AssocPoint> =
-                points.iter().filter(|p| p.l1_ways == l1_ways).collect();
+            let series: Vec<&AssocPoint> = points.iter().filter(|p| p.l1_ways == l1_ways).collect();
             let first = series.first().unwrap().inclusion_invalidations;
             let last = series.last().unwrap().inclusion_invalidations;
             assert!(

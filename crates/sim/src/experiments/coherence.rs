@@ -55,7 +55,10 @@ pub fn coherence_cells(ctx: &mut ExperimentCtx, preset: TracePreset) -> Vec<Cohe
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
     })
 }
 
@@ -122,11 +125,7 @@ pub fn totals(cells: &[CoherenceCell]) -> (u64, u64, u64) {
     let sum = |f: fn(&CoherenceCell) -> &Vec<u64>| -> u64 {
         cells.iter().flat_map(|c| f(c).iter()).sum()
     };
-    (
-        sum(|c| &c.vr),
-        sum(|c| &c.rr_incl),
-        sum(|c| &c.rr_no_incl),
-    )
+    (sum(|c| &c.vr), sum(|c| &c.rr_incl), sum(|c| &c.rr_no_incl))
 }
 
 #[cfg(test)]
@@ -163,11 +162,14 @@ mod tests {
 
     #[test]
     fn render_layout() {
-        let cells = vec![CoherenceCell {
-            vr: vec![1, 2],
-            rr_incl: vec![3, 4],
-            rr_no_incl: vec![5, 6],
-        }; 3];
+        let cells = vec![
+            CoherenceCell {
+                vr: vec![1, 2],
+                rr_incl: vec![3, 4],
+                rr_no_incl: vec![5, 6],
+            };
+            3
+        ];
         let t = render(TracePreset::Abaqus, 13, &cells);
         assert_eq!(t.len(), 2);
         assert!(t.title().contains("Table 13"));

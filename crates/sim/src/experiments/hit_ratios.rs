@@ -58,8 +58,7 @@ pub fn hit_ratio_grid(ctx: &mut ExperimentCtx, pairs: &[(u64, u64)]) -> Vec<HitR
                         let cfg = paper_config(*pair);
                         s.spawn(move || {
                             let vr = run_kind(trace, &cfg, HierarchyKind::Vr).summary;
-                            let rr =
-                                run_kind(trace, &cfg, HierarchyKind::RrInclusive).summary;
+                            let rr = run_kind(trace, &cfg, HierarchyKind::RrInclusive).summary;
                             HitRatioCell {
                                 h1_vr: vr.h1,
                                 h1_rr: rr.h1,
@@ -69,7 +68,10 @@ pub fn hit_ratio_grid(ctx: &mut ExperimentCtx, pairs: &[(u64, u64)]) -> Vec<HitR
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .collect()
             });
             HitRatioRow {
                 preset: *preset,

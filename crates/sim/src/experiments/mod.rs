@@ -15,10 +15,10 @@ pub mod scaling;
 pub mod single_level;
 pub mod split_id;
 pub mod table5;
-pub mod traffic;
 pub mod tables_write;
+pub mod traffic;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vrcache::config::HierarchyConfig;
 use vrcache::events::HierarchyEvents;
@@ -36,11 +36,8 @@ pub const LARGE_PAIRS: [(u64, u64); 3] = [
 ];
 
 /// The small-first-level pairs of Table 7.
-pub const SMALL_PAIRS: [(u64, u64); 3] = [
-    (512, 64 * 1024),
-    (1024, 128 * 1024),
-    (2 * 1024, 256 * 1024),
-];
+pub const SMALL_PAIRS: [(u64, u64); 3] =
+    [(512, 64 * 1024), (1024, 128 * 1024), (2 * 1024, 256 * 1024)];
 
 /// The block size used throughout the evaluation.
 pub const BLOCK_BYTES: u64 = 16;
@@ -65,7 +62,7 @@ pub fn pair_label(pair: (u64, u64)) -> String {
 /// Shared context: cached traces and the volume scale.
 pub struct ExperimentCtx {
     scale: f64,
-    traces: HashMap<TracePreset, Trace>,
+    traces: BTreeMap<TracePreset, Trace>,
     /// Memoized Table 6 grid (figures 4-6 reuse it).
     pub(crate) table6_rows: Option<Vec<hit_ratios::HitRatioRow>>,
 }
@@ -80,7 +77,7 @@ impl ExperimentCtx {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
         ExperimentCtx {
             scale,
-            traces: HashMap::new(),
+            traces: BTreeMap::new(),
             table6_rows: None,
         }
     }
@@ -108,7 +105,12 @@ pub struct KindRun {
     pub events: Vec<HierarchyEvents>,
     /// Per-CPU split (instruction, data) L1 statistics, when the first
     /// level is split.
-    pub split_stats: Vec<Option<(vrcache_cache::stats::CacheStats, vrcache_cache::stats::CacheStats)>>,
+    pub split_stats: Vec<
+        Option<(
+            vrcache_cache::stats::CacheStats,
+            vrcache_cache::stats::CacheStats,
+        )>,
+    >,
 }
 
 /// Runs `trace` on a fresh system of the given kind and configuration.
@@ -143,8 +145,7 @@ pub fn run_kind(trace: &Trace, cfg: &HierarchyConfig, kind: HierarchyKind) -> Ki
 ///
 /// Panics on invalid geometry (cannot happen for the paper's pairs).
 pub fn paper_config(pair: (u64, u64)) -> HierarchyConfig {
-    HierarchyConfig::direct_mapped(pair.0, pair.1, BLOCK_BYTES)
-        .expect("paper size pairs are valid")
+    HierarchyConfig::direct_mapped(pair.0, pair.1, BLOCK_BYTES).expect("paper size pairs are valid")
 }
 
 #[cfg(test)]

@@ -38,8 +38,7 @@ pub fn protocol_rows(ctx: &mut ExperimentCtx, preset: TracePreset) -> Vec<Protoc
     [false, true]
         .into_iter()
         .map(|update| {
-            let base = HierarchyConfig::direct_mapped(8 * 1024, 128 * 1024, 16)
-                .expect("valid");
+            let base = HierarchyConfig::direct_mapped(8 * 1024, 128 * 1024, 16).expect("valid");
             let cfg = if update {
                 base.with_update_protocol()
             } else {
@@ -47,11 +46,7 @@ pub fn protocol_rows(ctx: &mut ExperimentCtx, preset: TracePreset) -> Vec<Protoc
             };
             let run = run_kind(&trace, &cfg, HierarchyKind::Vr);
             let refs = run.summary.refs as f64 / 1000.0;
-            let msgs: u64 = run
-                .events
-                .iter()
-                .map(|e| e.l1_coherence_messages())
-                .sum();
+            let msgs: u64 = run.events.iter().map(|e| e.l1_coherence_messages()).sum();
             let txns = BusOp::ALL
                 .iter()
                 .map(|op| run.summary.bus.count(*op))

@@ -58,11 +58,7 @@ pub fn scaling_study(refs_per_cpu: u64, cpu_counts: &[u16]) -> Vec<ScalingPoint>
             let cfg = paper_config((8 * 1024, 128 * 1024));
             let per_cpu = |kind: HierarchyKind| -> f64 {
                 let run = run_kind(&trace, &cfg, kind);
-                let total: u64 = run
-                    .events
-                    .iter()
-                    .map(|e| e.l1_coherence_messages())
-                    .sum();
+                let total: u64 = run.events.iter().map(|e| e.l1_coherence_messages()).sum();
                 total as f64 / f64::from(*cpus)
             };
             ScalingPoint {

@@ -72,7 +72,10 @@ pub fn split_cells(ctx: &mut ExperimentCtx, preset: TracePreset) -> Vec<SplitCel
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
     })
 }
 

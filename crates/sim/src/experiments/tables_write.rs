@@ -30,7 +30,11 @@ pub fn table1(ctx: &mut ExperimentCtx) -> TableReport {
         vec!["no. of wr. per call", "count", "total writes"],
     );
     for (n, c) in &hist.counts {
-        t.row(vec![n.to_string(), c.to_string(), (u64::from(*n) * c).to_string()]);
+        t.row(vec![
+            n.to_string(),
+            c.to_string(),
+            (u64::from(*n) * c).to_string(),
+        ]);
     }
     t.row(vec![
         "no. of wr. due to p".into(),

@@ -32,8 +32,7 @@ pub struct TrafficCell {
 impl TrafficCell {
     /// Bus transactions per 1000 references.
     pub fn txns_per_kref(&self) -> f64 {
-        (self.fetches + self.invalidations + self.writebacks) as f64
-            / (self.refs as f64 / 1000.0)
+        (self.fetches + self.invalidations + self.writebacks) as f64 / (self.refs as f64 / 1000.0)
     }
 
     /// Data bytes moved on the bus per 1000 references (fetches and

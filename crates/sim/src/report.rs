@@ -108,7 +108,11 @@ impl fmt::Display for TableReport {
         writeln!(
             f,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         )?;
         for row in &self.rows {
             writeln!(f, "| {} |", row.join(" | "))?;
@@ -182,7 +186,10 @@ pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize
         width = width - 8
     ));
     for (label, _) in series {
-        out.push_str(&format!("  {} = {label}\n", label.chars().next().unwrap_or('*')));
+        out.push_str(&format!(
+            "  {} = {label}\n",
+            label.chars().next().unwrap_or('*')
+        ));
     }
     out
 }

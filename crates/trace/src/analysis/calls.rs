@@ -7,7 +7,7 @@
 //! the stack region, tolerating the interleaved instruction fetches that
 //! carry them.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use core::fmt;
 use vrcache_mem::access::CpuId;
@@ -86,7 +86,7 @@ struct RunState {
 pub fn call_write_histogram(trace: &Trace, min_run: u32) -> CallWriteHistogram {
     let mut hist = CallWriteHistogram::default();
     // Chain state per (cpu, asid).
-    let mut runs: HashMap<(CpuId, Asid), RunState> = HashMap::new();
+    let mut runs: BTreeMap<(CpuId, Asid), RunState> = BTreeMap::new();
 
     let flush = |hist: &mut CallWriteHistogram, run: RunState| {
         if run.len >= min_run {
@@ -138,7 +138,7 @@ pub fn call_write_histogram(trace: &Trace, min_run: u32) -> CallWriteHistogram {
             None => {}
         }
     }
-    for (_, run) in runs.drain() {
+    for (_, run) in std::mem::take(&mut runs) {
         flush(&mut hist, run);
     }
     hist

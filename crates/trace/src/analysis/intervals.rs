@@ -19,8 +19,7 @@ use crate::trace::Trace;
 
 /// A bucketed interval histogram matching the paper's rows
 /// (`1, 2, ..., 9, "10 and larger"`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct IntervalHistogram {
     /// `counts[i]` holds intervals of length `i + 1`, for `i < 9`.
     counts: [u64; 9],
@@ -30,7 +29,6 @@ pub struct IntervalHistogram {
     /// per stream, roughly).
     events: u64,
 }
-
 
 impl IntervalHistogram {
     /// Records that an event happened `interval` references after the
@@ -113,11 +111,7 @@ impl fmt::Display for IntervalHistogram {
 /// let hist = inter_write_intervals(&trace, CpuId::new(0), 8_000);
 /// assert!(hist.total() > 0);
 /// ```
-pub fn inter_write_intervals(
-    trace: &Trace,
-    cpu: CpuId,
-    snapshot_refs: u64,
-) -> IntervalHistogram {
+pub fn inter_write_intervals(trace: &Trace, cpu: CpuId, snapshot_refs: u64) -> IntervalHistogram {
     let mut hist = IntervalHistogram::default();
     let mut refs_seen = 0u64;
     let mut last_write_at: Option<u64> = None;

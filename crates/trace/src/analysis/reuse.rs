@@ -8,7 +8,7 @@
 //! real one. Computed in `O(n log n)` with a Fenwick tree over reference
 //! positions (Olken's method).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use core::fmt;
 use vrcache_mem::access::CpuId;
@@ -139,7 +139,10 @@ impl fmt::Display for ReuseHistogram {
 /// assert!(hist.lru_miss_ratio(4096) < hist.lru_miss_ratio(16));
 /// ```
 pub fn reuse_histogram(trace: &Trace, cpu: CpuId, block_bytes: u64) -> ReuseHistogram {
-    assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+    assert!(
+        block_bytes.is_power_of_two(),
+        "block size must be a power of two"
+    );
     let shift = block_bytes.trailing_zeros();
     let stream: Vec<u64> = trace
         .iter()
@@ -151,7 +154,7 @@ pub fn reuse_histogram(trace: &Trace, cpu: CpuId, block_bytes: u64) -> ReuseHist
 
     let mut hist = ReuseHistogram::default();
     let mut fen = Fenwick::new(stream.len());
-    let mut last_pos: HashMap<u64, usize> = HashMap::new();
+    let mut last_pos: BTreeMap<u64, usize> = BTreeMap::new();
     for (pos, block) in stream.iter().enumerate() {
         match last_pos.get(block) {
             Some(prev) => {
@@ -202,7 +205,7 @@ mod tests {
         for (i, b) in blocks.iter().enumerate() {
             match blocks[..i].iter().rposition(|x| x == b) {
                 Some(prev) => {
-                    let distinct: std::collections::HashSet<&u64> =
+                    let distinct: std::collections::BTreeSet<&u64> =
                         blocks[prev + 1..i].iter().collect();
                     dists.push(distinct.len() as u64);
                 }

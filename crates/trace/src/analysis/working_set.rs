@@ -6,7 +6,7 @@
 //! presets against the paper's Tables 6–7 was driven by exactly these
 //! curves.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use core::fmt;
 use vrcache_mem::access::CpuId;
@@ -74,7 +74,10 @@ pub fn working_set_curve(
     block_bytes: u64,
     windows: &[u64],
 ) -> WorkingSetCurve {
-    assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+    assert!(
+        block_bytes.is_power_of_two(),
+        "block size must be a power of two"
+    );
     assert!(!windows.is_empty(), "need at least one window length");
     let shift = block_bytes.trailing_zeros();
     let stream: Vec<u64> = trace
@@ -94,14 +97,14 @@ pub fn working_set_curve(
                 if chunk.len() < w_usize {
                     break; // partial tail window skews the average
                 }
-                let distinct: std::collections::HashSet<&u64> = chunk.iter().collect();
+                let distinct: std::collections::BTreeSet<&u64> = chunk.iter().collect();
                 total_distinct += distinct.len();
                 windows_counted += 1;
             }
             let avg = if windows_counted == 0 {
                 stream
                     .iter()
-                    .collect::<std::collections::HashSet<_>>()
+                    .collect::<std::collections::BTreeSet<_>>()
                     .len() as f64
             } else {
                 total_distinct as f64 / windows_counted as f64
@@ -123,7 +126,7 @@ pub fn miss_ratio_curve(trace: &Trace, cpu: CpuId, sizes: &[u64]) -> Vec<(u64, f
         .map(|size| {
             let sets = size / BLOCK;
             assert!(sets.is_power_of_two(), "cache size must give 2^n sets");
-            let mut tags: HashMap<u64, u64> = HashMap::new();
+            let mut tags: BTreeMap<u64, u64> = BTreeMap::new();
             let mut refs = 0u64;
             let mut misses = 0u64;
             for e in trace.iter() {

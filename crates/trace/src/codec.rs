@@ -167,8 +167,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Trace, CodecError> {
                 need(buf, 2 + 2 + 1 + 8 + 8)?;
                 let cpu = CpuId::new(buf.get_u16_le());
                 let asid = Asid::new(buf.get_u16_le());
-                let kind =
-                    kind_from_u8(buf.get_u8()).ok_or(CodecError::Corrupt("access kind"))?;
+                let kind = kind_from_u8(buf.get_u8()).ok_or(CodecError::Corrupt("access kind"))?;
                 let vaddr = VirtAddr::new(buf.get_u64_le());
                 let paddr = PhysAddr::new(buf.get_u64_le());
                 events.push(TraceEvent::Access(MemAccess {
@@ -303,8 +302,8 @@ impl<'a> Decoder<'a> {
                 need(self.buf, 2 + 2 + 1 + 8 + 8)?;
                 let cpu = CpuId::new(self.buf.get_u16_le());
                 let asid = Asid::new(self.buf.get_u16_le());
-                let kind = kind_from_u8(self.buf.get_u8())
-                    .ok_or(CodecError::Corrupt("access kind"))?;
+                let kind =
+                    kind_from_u8(self.buf.get_u8()).ok_or(CodecError::Corrupt("access kind"))?;
                 let vaddr = VirtAddr::new(self.buf.get_u64_le());
                 let paddr = PhysAddr::new(self.buf.get_u64_le());
                 Ok(TraceEvent::Access(MemAccess {
@@ -397,10 +396,7 @@ mod tests {
     fn truncation_rejected() {
         let bytes = encode(&small_trace());
         for cut in [3, 10, bytes.len() / 2, bytes.len() - 1] {
-            assert!(
-                decode(&bytes[..cut]).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
     }
 

@@ -18,7 +18,7 @@ use crate::synth::{generate, WorkloadConfig};
 use crate::trace::Trace;
 
 /// The three workload presets of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TracePreset {
     /// 4-CPU trace, rare context switches, write-heavy procedure calls.
     Pops,
@@ -179,7 +179,10 @@ mod tests {
         assert!((total - 0.02 * 3_286_000.0).abs() / total < 0.01);
         // Mix within tolerance of Table 5's ratios.
         let instr_frac = s.instr_count as f64 / total;
-        assert!((instr_frac - 1_718.0 / 3_286.0).abs() < 0.03, "instr frac {instr_frac}");
+        assert!(
+            (instr_frac - 1_718.0 / 3_286.0).abs() < 0.03,
+            "instr frac {instr_frac}"
+        );
         let wf = s.write_frac();
         assert!((wf - 0.18).abs() < 0.03, "write frac {wf}");
     }

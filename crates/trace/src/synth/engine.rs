@@ -258,7 +258,10 @@ impl ProcessEngine {
             self.do_return();
         } else if roll < p_call + p_ret + self.cfg.p_loop {
             let dist = self.rng.gen_range(1..=self.cfg.loop_len_max.max(1)) as u64;
-            self.pc = self.pc.saturating_sub(dist * INSTR_BYTES).max(self.func_base);
+            self.pc = self
+                .pc
+                .saturating_sub(dist * INSTR_BYTES)
+                .max(self.func_base);
         } else {
             self.pc += INSTR_BYTES;
             if self.pc >= self.func_base + self.cfg.func_bytes {
@@ -288,8 +291,7 @@ impl ProcessEngine {
             }
             if want_write && self.write_echo.is_none() && self.rng.gen::<f64>() < 0.35 {
                 let delay = self.rng.gen_range(0..=4);
-                self.write_echo =
-                    Some((addr + self.rng.gen_range(1..=4) * WORD_BYTES, delay));
+                self.write_echo = Some((addr + self.rng.gen_range(1..=4) * WORD_BYTES, delay));
             }
         }
     }
@@ -307,8 +309,7 @@ impl ProcessEngine {
         let callee = self.func_zipf.sample(&mut self.rng);
         // Function entries are staggered so prologues spread over cache
         // sets instead of all landing at page-aligned addresses.
-        let callee_base =
-            self.layout.code_base + callee * self.cfg.func_bytes + (callee % 64) * 64;
+        let callee_base = self.layout.code_base + callee * self.cfg.func_bytes + (callee % 64) * 64;
         let old_base = self.func_base;
         self.call_stack.push(Frame {
             ret_pc: self.pc + INSTR_BYTES,
@@ -489,7 +490,10 @@ mod tests {
         }
         let hist = e.call_write_histogram();
         assert!(!hist.is_empty());
-        assert!(hist.keys().all(|n| *n == 3), "only 3-write bursts: {hist:?}");
+        assert!(
+            hist.keys().all(|n| *n == 3),
+            "only 3-write bursts: {hist:?}"
+        );
     }
 
     #[test]
@@ -510,7 +514,9 @@ mod tests {
         let primary = refs
             .iter()
             .filter(|(k, a)| {
-                k.is_data() && a.raw() >= layout.shared_base && a.raw() < layout.shared_base + 0x10_0000
+                k.is_data()
+                    && a.raw() >= layout.shared_base
+                    && a.raw() < layout.shared_base + 0x10_0000
             })
             .count();
         let alias = refs

@@ -39,7 +39,10 @@ pub fn generate(cfg: &WorkloadConfig) -> Trace {
 /// zero, or if `cfg.shared_pages` is zero while `cfg.p_shared > 0`.
 pub fn generate_with_report(cfg: &WorkloadConfig) -> (Trace, GenerationReport) {
     assert!(cfg.cpus > 0, "need at least one cpu");
-    assert!(cfg.processes_per_cpu > 0, "need at least one process per cpu");
+    assert!(
+        cfg.processes_per_cpu > 0,
+        "need at least one process per cpu"
+    );
     assert!(cfg.total_refs > 0, "need at least one reference");
     assert!(
         cfg.p_shared == 0.0 || cfg.shared_pages > 0,
@@ -51,7 +54,7 @@ pub fn generate_with_report(cfg: &WorkloadConfig) -> (Trace, GenerationReport) {
 
     // The "kernel" (ASID 0) owns the shared segment's frames.
     let kernel = Asid::new(0);
-    let shared_ppns: Vec<Ppn> = (0..cfg.shared_pages as u64)
+    let shared_ppns: Vec<Ppn> = (0..u64::from(cfg.shared_pages))
         .map(|i| {
             map.map_fresh(kernel, VirtAddr::new(0x6000_0000 + i * page.bytes()))
                 .expect("kernel shared pages map once")
@@ -81,7 +84,10 @@ pub fn generate_with_report(cfg: &WorkloadConfig) -> (Trace, GenerationReport) {
     // Per-CPU reference quotas and context-switch schedules.
     let cpus = cfg.cpus as usize;
     let mut quota = vec![cfg.total_refs / cfg.cpus as u64; cpus];
-    for q in quota.iter_mut().take((cfg.total_refs % cfg.cpus as u64) as usize) {
+    for q in quota
+        .iter_mut()
+        .take((cfg.total_refs % cfg.cpus as u64) as usize)
+    {
         *q += 1;
     }
     let mut switches_left = vec![cfg.context_switches / cfg.cpus as u64; cpus];
@@ -105,8 +111,7 @@ pub fn generate_with_report(cfg: &WorkloadConfig) -> (Trace, GenerationReport) {
     let mut emitted = vec![0u64; cpus];
     let mut since_switch = vec![0u64; cpus];
     let mut master = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
-    let mut events =
-        Vec::with_capacity(cfg.total_refs as usize + cfg.context_switches as usize);
+    let mut events = Vec::with_capacity(cfg.total_refs as usize + cfg.context_switches as usize);
 
     loop {
         let mut progressed = false;
@@ -162,10 +167,7 @@ pub fn generate_with_report(cfg: &WorkloadConfig) -> (Trace, GenerationReport) {
         }
     }
 
-    (
-        Trace::new(cfg.name.clone(), cfg.cpus, page, events),
-        report,
-    )
+    (Trace::new(cfg.name.clone(), cfg.cpus, page, events), report)
 }
 
 #[cfg(test)]
@@ -227,10 +229,7 @@ mod tests {
     fn every_cpu_contributes() {
         let t = generate(&cfg(8_000, 4, 0));
         for c in 0..4 {
-            let n = t
-                .iter()
-                .filter(|e| e.cpu() == CpuId::new(c))
-                .count();
+            let n = t.iter().filter(|e| e.cpu() == CpuId::new(c)).count();
             assert!(n >= 1_900, "cpu{c} only issued {n} refs");
         }
     }
@@ -319,7 +318,11 @@ mod tests {
         let s = generate(&c).summary();
         let dpi = s.data_refs() as f64 / s.instr_count as f64;
         assert!((dpi - 0.9).abs() < 0.05, "data/instr = {dpi}");
-        assert!((s.write_frac() - 0.18).abs() < 0.02, "wf = {}", s.write_frac());
+        assert!(
+            (s.write_frac() - 0.18).abs() < 0.02,
+            "wf = {}",
+            s.write_frac()
+        );
     }
 
     #[test]

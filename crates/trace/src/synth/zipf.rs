@@ -56,7 +56,10 @@ impl Zipf {
     /// Samples an item index in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen();
-        let rank = match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        let rank = match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i as u64,
             Err(i) => (i as u64).min(self.n - 1),
         };

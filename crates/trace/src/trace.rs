@@ -215,7 +215,12 @@ mod tests {
 
     #[test]
     fn summary_display() {
-        let t = Trace::new("demo", 4, PageSize::SIZE_4K, vec![acc(AccessKind::DataWrite)]);
+        let t = Trace::new(
+            "demo",
+            4,
+            PageSize::SIZE_4K,
+            vec![acc(AccessKind::DataWrite)],
+        );
         let s = t.summary().to_string();
         assert!(s.contains("demo"));
         assert!(s.contains("4 cpus"));

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = HierarchyConfig::direct_mapped(8 * 1024, 128 * 1024, 16)?;
 
     println!("\ncoherence messages reaching each first-level cache:");
-    println!("{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}", "organization", "cpu0", "cpu1", "cpu2", "cpu3", "total");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "organization", "cpu0", "cpu1", "cpu2", "cpu3", "total"
+    );
     for kind in HierarchyKind::ALL {
         let mut sys = System::new(kind, trace.cpus(), &cfg);
         sys.run_trace(&trace)?;

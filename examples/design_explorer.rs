@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ok = satisfies_inclusion_bound(&l1, &l2, page);
         println!(
             "| {l1_kb}K | {block_ratio} | {need}-way | {} |",
-            if ok { "yes" } else { "no — relaxed rule needed" }
+            if ok {
+                "yes"
+            } else {
+                "no — relaxed rule needed"
+            }
         );
     }
     println!(

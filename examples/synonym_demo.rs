@@ -57,18 +57,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut oracle = VersionOracle::new();
 
     println!("1) write through the first name (va 0x1100 -> pa 0x9100):");
-    access(&mut h, &mut bus, &mut oracle, AccessKind::DataWrite, 0x1100, 0x9100);
+    access(
+        &mut h,
+        &mut bus,
+        &mut oracle,
+        AccessKind::DataWrite,
+        0x1100,
+        0x9100,
+    );
 
     println!("\n2) read the same physical block through a same-set alias (va 0x3100):");
-    access(&mut h, &mut bus, &mut oracle, AccessKind::DataRead, 0x3100, 0x9100);
+    access(
+        &mut h,
+        &mut bus,
+        &mut oracle,
+        AccessKind::DataRead,
+        0x3100,
+        0x9100,
+    );
     println!("   -> sameset: re-tagged in place, write-back cancelled");
 
     println!("\n3) read it through a different-set alias (va 0x2100):");
-    access(&mut h, &mut bus, &mut oracle, AccessKind::DataRead, 0x2100, 0x9100);
+    access(
+        &mut h,
+        &mut bus,
+        &mut oracle,
+        AccessKind::DataRead,
+        0x2100,
+        0x9100,
+    );
     println!("   -> move: invalidated in the old set, installed in the new one");
 
     println!("\n4) the old name now misses (at most one V-cache copy ever exists):");
-    access(&mut h, &mut bus, &mut oracle, AccessKind::DataRead, 0x3100, 0x9100);
+    access(
+        &mut h,
+        &mut bus,
+        &mut oracle,
+        AccessKind::DataRead,
+        0x3100,
+        0x9100,
+    );
 
     let e = h.events();
     println!(

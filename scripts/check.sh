@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-merge gate for the vrcache workspace: format, build, test, lint.
+# Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> workspace lints"
+cargo run -q --release -p vrcache-analysis --bin lint
+
+echo "All checks passed."

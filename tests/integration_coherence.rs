@@ -28,7 +28,9 @@ fn all_organizations_survive_sharing_torture() {
     for seed in [1, 2, 3] {
         let trace = torture_trace(seed, 4, 0.25, 16);
         for kind in HierarchyKind::ALL {
-            let cfg = HierarchyConfig::direct_mapped(2 * 1024, 32 * 1024, 16).unwrap();
+            let cfg = HierarchyConfig::direct_mapped(2 * 1024, 32 * 1024, 16)
+                .unwrap()
+                .with_sampled_runtime_checks(64);
             let mut sys = System::new(kind, 4, &cfg).with_invariant_checks(256);
             sys.run_trace(&trace)
                 .unwrap_or_else(|e| panic!("seed {seed} {kind}: {e}"));
@@ -43,7 +45,9 @@ fn all_organizations_survive_sharing_torture() {
 #[test]
 fn invalidation_and_rmw_paths_are_exercised() {
     let trace = torture_trace(7, 4, 0.3, 0);
-    let cfg = HierarchyConfig::direct_mapped(4 * 1024, 64 * 1024, 16).unwrap();
+    let cfg = HierarchyConfig::direct_mapped(4 * 1024, 64 * 1024, 16)
+        .unwrap()
+        .with_sampled_runtime_checks(64);
     let mut sys = System::new(HierarchyKind::Vr, 4, &cfg);
     let run = sys.run_trace(&trace).unwrap();
     assert!(run.bus.count(BusOp::Invalidate) > 0, "no upgrades happened");
@@ -68,7 +72,9 @@ fn tiny_caches_magnify_interaction_and_stay_clean() {
     // Small caches force constant replacement interplay between the
     // levels, the buffer and the bus — the hardest structural case.
     let trace = torture_trace(11, 2, 0.35, 40);
-    let cfg = HierarchyConfig::direct_mapped(256, 4 * 1024, 16).unwrap();
+    let cfg = HierarchyConfig::direct_mapped(256, 4 * 1024, 16)
+        .unwrap()
+        .with_sampled_runtime_checks(64);
     let mut sys = System::new(HierarchyKind::Vr, 2, &cfg).with_invariant_checks(64);
     sys.run_trace(&trace).unwrap();
     // Inclusion invalidations are expected at this pressure; their counter
@@ -87,7 +93,9 @@ fn associative_and_multiblock_l2_configurations_are_clean() {
     // B2 = 2 * B1, 2-way L2, 2-way L1: exercises subentries and way logic.
     let l1 = CacheGeometry::new(2 * 1024, 16, 2).unwrap();
     let l2 = CacheGeometry::new(32 * 1024, 32, 2).unwrap();
-    let cfg = HierarchyConfig::new(l1, l2, PageSize::SIZE_4K).unwrap();
+    let cfg = HierarchyConfig::new(l1, l2, PageSize::SIZE_4K)
+        .unwrap()
+        .with_sampled_runtime_checks(64);
     for kind in HierarchyKind::ALL {
         let mut sys = System::new(kind, 2, &cfg).with_invariant_checks(128);
         sys.run_trace(&trace)
@@ -104,7 +112,9 @@ fn random_replacement_policies_are_clean() {
         ReplacementPolicy::Random,
         ReplacementPolicy::TreePlru,
     ] {
-        let mut cfg = HierarchyConfig::direct_mapped(1024, 16 * 1024, 16).unwrap();
+        let mut cfg = HierarchyConfig::direct_mapped(1024, 16 * 1024, 16)
+            .unwrap()
+            .with_sampled_runtime_checks(64);
         cfg.l1_policy = policy;
         cfg.l2_policy = policy;
         // Policies only matter with associativity.
@@ -122,6 +132,7 @@ fn deep_write_buffers_behave() {
     for depth in [1usize, 2, 8] {
         let cfg = HierarchyConfig::direct_mapped(1024, 16 * 1024, 16)
             .unwrap()
+            .with_sampled_runtime_checks(64)
             .with_write_buffer(depth);
         let mut sys = System::new(HierarchyKind::Vr, 2, &cfg).with_invariant_checks(256);
         sys.run_trace(&trace)
@@ -132,7 +143,9 @@ fn deep_write_buffers_behave() {
 #[test]
 fn shielding_factor_grows_with_cpu_count() {
     // The paper observes more shielding benefit with more processors.
-    let cfg = HierarchyConfig::direct_mapped(4 * 1024, 64 * 1024, 16).unwrap();
+    let cfg = HierarchyConfig::direct_mapped(4 * 1024, 64 * 1024, 16)
+        .unwrap()
+        .with_sampled_runtime_checks(64);
     let mut factors = Vec::new();
     for cpus in [2u16, 4] {
         let trace = torture_trace(23, cpus, 0.25, 0);
@@ -155,8 +168,8 @@ fn shielding_factor_grows_with_cpu_count() {
 
 mod dma {
     use super::*;
-    use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr};
     use vrcache_mem::access::AccessKind;
+    use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr};
     use vrcache_trace::record::{MemAccess, TraceEvent};
 
     fn access(cpu: u16, kind: AccessKind, addr: u64) -> TraceEvent {
@@ -170,7 +183,9 @@ mod dma {
     }
 
     fn system(kind: HierarchyKind) -> System {
-        let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16).unwrap();
+        let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16)
+            .unwrap()
+            .with_runtime_checks(true);
         System::new(kind, 2, &cfg).with_invariant_checks(8)
     }
 
@@ -272,8 +287,8 @@ mod dma {
 
 mod tlb_shootdown {
     use super::*;
-    use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr, Vpn};
     use vrcache_mem::access::AccessKind;
+    use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr, Vpn};
     use vrcache_trace::record::{MemAccess, TraceEvent};
 
     fn access(cpu: u16, kind: AccessKind, va: u64, pa: u64) -> TraceEvent {
@@ -287,7 +302,9 @@ mod tlb_shootdown {
     }
 
     fn system(kind: HierarchyKind) -> System {
-        let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16).unwrap();
+        let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16)
+            .unwrap()
+            .with_runtime_checks(true);
         System::new(kind, 2, &cfg).with_invariant_checks(8)
     }
 
@@ -315,10 +332,8 @@ mod tlb_shootdown {
                 assert_eq!(disturbed, 0, "{kind}: physical L1 untouched");
             }
             // Remap: same VA now points at pa page 0xA.
-            sys.run_events(
-                [access(0, AccessKind::DataRead, 0x1000, 0xA000)].iter(),
-            )
-            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            sys.run_events([access(0, AccessKind::DataRead, 0x1000, 0xA000)].iter())
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
             // The old frame's data is still the newest for its address:
             // a DMA read of it must pass the oracle.
             sys.dma_read(0x9000, 32)
@@ -331,17 +346,13 @@ mod tlb_shootdown {
     #[test]
     fn vr_shootdown_folds_dirty_data_into_the_rcache() {
         let mut sys = system(HierarchyKind::Vr);
-        sys.run_events(
-            [access(0, AccessKind::DataWrite, 0x1000, 0x9000)].iter(),
-        )
-        .unwrap();
+        sys.run_events([access(0, AccessKind::DataWrite, 0x1000, 0x9000)].iter())
+            .unwrap();
         sys.tlb_shootdown(Asid::new(1), Vpn::new(1));
         sys.check_invariants().unwrap();
         // Re-reading the physical block through a different virtual name
         // must hit the R-cache and see the written version.
-        let out = sys.run_events(
-            [access(0, AccessKind::DataRead, 0x5000, 0x9000)].iter(),
-        );
+        let out = sys.run_events([access(0, AccessKind::DataRead, 0x5000, 0x9000)].iter());
         out.unwrap();
     }
 
@@ -349,10 +360,8 @@ mod tlb_shootdown {
     #[test]
     fn shootdown_of_cold_page_is_free() {
         let mut sys = system(HierarchyKind::Vr);
-        sys.run_events(
-            [access(0, AccessKind::DataRead, 0x1000, 0x9000)].iter(),
-        )
-        .unwrap();
+        sys.run_events([access(0, AccessKind::DataRead, 0x1000, 0x9000)].iter())
+            .unwrap();
         assert_eq!(sys.tlb_shootdown(Asid::new(1), Vpn::new(7)), 0);
         sys.check_invariants().unwrap();
     }
@@ -371,7 +380,9 @@ fn dma_respects_subblock_geometry() {
 
     let l1 = CacheGeometry::direct_mapped(512, 16).unwrap();
     let l2 = CacheGeometry::direct_mapped(8 * 1024, 32).unwrap();
-    let cfg = HierarchyConfig::new(l1, l2, PageSize::SIZE_4K).unwrap();
+    let cfg = HierarchyConfig::new(l1, l2, PageSize::SIZE_4K)
+        .unwrap()
+        .with_runtime_checks(true);
     let mut sys = System::new(HierarchyKind::Vr, 1, &cfg).with_invariant_checks(4);
     let touch = |addr: u64, kind| {
         TraceEvent::Access(MemAccess {
@@ -424,6 +435,7 @@ mod update_protocol {
     fn system() -> System {
         let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16)
             .unwrap()
+            .with_runtime_checks(true)
             .with_update_protocol();
         System::new(HierarchyKind::Vr, 2, &cfg).with_invariant_checks(4)
     }
@@ -528,6 +540,7 @@ mod update_protocol {
         let trace = torture_trace(31, 4, 0.3, 12);
         let cfg = HierarchyConfig::direct_mapped(2 * 1024, 32 * 1024, 16)
             .unwrap()
+            .with_sampled_runtime_checks(64)
             .with_update_protocol();
         let mut sys = System::new(HierarchyKind::Vr, 4, &cfg).with_invariant_checks(256);
         let run = sys.run_trace(&trace).unwrap();
@@ -549,12 +562,13 @@ mod update_protocol {
     #[test]
     fn update_trades_messages_for_sharer_hits() {
         let trace = torture_trace(37, 4, 0.35, 0);
-        let base = HierarchyConfig::direct_mapped(2 * 1024, 32 * 1024, 16).unwrap();
+        let base = HierarchyConfig::direct_mapped(2 * 1024, 32 * 1024, 16)
+            .unwrap()
+            .with_sampled_runtime_checks(64);
         let inval = System::new(HierarchyKind::Vr, 4, &base)
             .run_trace(&trace)
             .unwrap();
-        let mut upd_sys =
-            System::new(HierarchyKind::Vr, 4, &base.clone().with_update_protocol());
+        let mut upd_sys = System::new(HierarchyKind::Vr, 4, &base.clone().with_update_protocol());
         let upd = upd_sys.run_trace(&trace).unwrap();
         assert!(
             upd.h1 >= inval.h1,
@@ -562,9 +576,7 @@ mod update_protocol {
             upd.h1,
             inval.h1
         );
-        let upd_msgs: u64 = (0..4)
-            .map(|c| upd_sys.events(CpuId::new(c)).update_v)
-            .sum();
+        let upd_msgs: u64 = (0..4).map(|c| upd_sys.events(CpuId::new(c)).update_v).sum();
         assert!(upd_msgs > 0);
     }
 }
@@ -579,7 +591,9 @@ fn dma_write_over_dirty_block_supersedes_it() {
     use vrcache_trace::record::{MemAccess, TraceEvent};
 
     for kind in HierarchyKind::ALL {
-        let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16).unwrap();
+        let cfg = HierarchyConfig::direct_mapped(512, 8 * 1024, 16)
+            .unwrap()
+            .with_runtime_checks(true);
         let mut sys = System::new(kind, 2, &cfg).with_invariant_checks(4);
         let touch = |k, addr: u64| {
             TraceEvent::Access(MemAccess {

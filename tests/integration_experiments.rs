@@ -3,8 +3,7 @@
 //! right qualitative shape.
 
 use vrcache_sim::experiments::{
-    access_time, coherence, hit_ratios, split_id, table5, tables_write, ExperimentCtx,
-    LARGE_PAIRS,
+    access_time, coherence, hit_ratios, split_id, table5, tables_write, ExperimentCtx, LARGE_PAIRS,
 };
 use vrcache_trace::presets::TracePreset;
 
@@ -131,7 +130,9 @@ fn calibration_is_seed_robust() {
     use vrcache_sim::system::{HierarchyKind, System};
     use vrcache_trace::synth::generate;
 
-    let base = vrcache_trace::presets::TracePreset::Pops.config().scaled(0.02);
+    let base = vrcache_trace::presets::TracePreset::Pops
+        .config()
+        .scaled(0.02);
     let mut ratios = Vec::new();
     for seed in [base.seed, 0xAAAA, 0x5555] {
         let mut cfg = base.clone();
@@ -146,10 +147,7 @@ fn calibration_is_seed_robust() {
     }
     let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = ratios.iter().cloned().fold(0.0, f64::max);
-    assert!(
-        max - min < 0.01,
-        "h1 across seeds spans {min:.4}..{max:.4}"
-    );
+    assert!(max - min < 0.01, "h1 across seeds spans {min:.4}..{max:.4}");
 }
 
 /// A trace that round-trips through the binary codec replays to identical

@@ -9,7 +9,11 @@ use vrcache_trace::synth::{generate, WorkloadConfig};
 use vrcache_trace::trace::Trace;
 
 fn cfg(l1: u64, l2: u64) -> HierarchyConfig {
-    HierarchyConfig::direct_mapped(l1, l2, 16).unwrap()
+    // Trace-scale runs: sample the full-walk invariant verification
+    // instead of paying it on every one of ~120k references.
+    HierarchyConfig::direct_mapped(l1, l2, 16)
+        .unwrap()
+        .with_sampled_runtime_checks(64)
 }
 
 fn no_switch_trace() -> Trace {
@@ -60,9 +64,7 @@ fn context_switches_cost_only_the_virtual_l1() {
     let calm = mk(0);
     let busy = mk(120);
 
-    let run = |kind, trace: &Trace| {
-        System::new(kind, 2, &c).run_trace(trace).unwrap().h1
-    };
+    let run = |kind, trace: &Trace| System::new(kind, 2, &c).run_trace(trace).unwrap().h1;
     let vr_calm = run(HierarchyKind::Vr, &calm);
     let vr_busy = run(HierarchyKind::Vr, &busy);
     let rr_calm = run(HierarchyKind::RrInclusive, &calm);
@@ -88,7 +90,9 @@ fn hit_ratio_monotone_in_cache_size() {
     for kind in HierarchyKind::ALL {
         let mut last = 0.0;
         for (l1, l2) in [(4096, 65536), (8192, 131072), (16384, 262144)] {
-            let run = System::new(kind, 2, &cfg(l1, l2)).run_trace(&trace).unwrap();
+            let run = System::new(kind, 2, &cfg(l1, l2))
+                .run_trace(&trace)
+                .unwrap();
             assert!(
                 run.h1 >= last - 0.01,
                 "{kind}: h1 dropped from {last} to {} at {l1}/{l2}",
@@ -111,8 +115,7 @@ fn synonym_heavy_trace_is_coherent() {
         shared_pages: 8,
         ..WorkloadConfig::default()
     });
-    let mut sys = System::new(HierarchyKind::Vr, 2, &cfg(4096, 65536))
-        .with_invariant_checks(512);
+    let mut sys = System::new(HierarchyKind::Vr, 2, &cfg(4096, 65536)).with_invariant_checks(512);
     sys.run_trace(&trace).unwrap();
     let synonyms: u64 = (0..2).map(|c| sys.events(CpuId::new(c)).synonyms()).sum();
     assert!(synonyms > 50, "only {synonyms} synonym resolutions");

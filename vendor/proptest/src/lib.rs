@@ -1,0 +1,272 @@
+//! Offline in-tree stand-in for the slice of `proptest` this workspace
+//! uses.
+//!
+//! The real proptest cannot be fetched in this offline build environment,
+//! so this shim re-implements the consumed surface: the [`proptest!`]
+//! macro, [`prop_oneof!`], `prop_assert*`, [`any`], [`strategy::Just`],
+//! [`collection::vec`], range/tuple/`prop_map` strategies and a tiny
+//! `[chars]{m,n}`-class string strategy.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the sampled inputs in
+//!   the panic message (via the normal `assert!` formatting) instead of
+//!   shrinking to a minimal case.
+//! * **Deterministic.** Every test's case stream is a pure function of
+//!   the test name and case index — no entropy source, matching the
+//!   workspace's determinism rules. The same failure reproduces on every
+//!   run.
+//! * Default case count is 64 (upstream: 256), keeping `cargo test -q`
+//!   fast; tests override it with `ProptestConfig::with_cases`.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod strategy;
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Subset of proptest's config: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` values with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, size)
+    }
+}
+
+/// A strategy producing arbitrary values of `T` (full-range for integers).
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Types with a canonical full-range strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut rand::rngs::StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut rand::rngs::StdRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut rand::rngs::StdRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Seeds the per-test RNG: FNV-1a of the test name mixed with the case
+/// index. Pure and stable across runs — reruns reproduce failures.
+pub fn case_rng(test_name: &str, case: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything a proptest-style test file imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property body (no shrinking: plain
+/// `assert!` semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted choice between strategies producing the same value type.
+/// Arms are `strategy` or `weight => strategy`, mixed freely (integer
+/// literal weights; unweighted arms count as weight 1).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($t:tt)+) => {{
+        let mut arms = ::std::vec::Vec::new();
+        $crate::__prop_oneof_push!(arms; $($t)+);
+        $crate::strategy::Union::new(arms)
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_oneof_push {
+    ($arms:ident;) => {};
+    ($arms:ident; $w:literal => $s:expr) => {
+        $arms.push((($w) as u32, $crate::strategy::Strategy::boxed($s)));
+    };
+    ($arms:ident; $w:literal => $s:expr, $($rest:tt)*) => {
+        $arms.push((($w) as u32, $crate::strategy::Strategy::boxed($s)));
+        $crate::__prop_oneof_push!($arms; $($rest)*);
+    };
+    ($arms:ident; $s:expr) => {
+        $arms.push((1u32, $crate::strategy::Strategy::boxed($s)));
+    };
+    ($arms:ident; $s:expr, $($rest:tt)*) => {
+        $arms.push((1u32, $crate::strategy::Strategy::boxed($s)));
+        $crate::__prop_oneof_push!($arms; $($rest)*);
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies for a configurable
+/// number of deterministic cases and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..u64::from(cfg.cases) {
+                    let mut __proptest_rng = $crate::case_rng(stringify!($name), case);
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        A(u8),
+        B,
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u64..100, b in 1u8..=7) {
+            prop_assert!(a < 100);
+            prop_assert!((1..=7).contains(&b));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in (0u16..4, any::<u8>()).prop_map(|(x, y)| (x, y))) {
+            prop_assert!(v.0 < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(xs in crate::collection::vec(0u32..10, 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            prop_assert!(xs.iter().all(|x| *x < 10));
+        }
+
+        #[test]
+        fn oneof_mixes_weighted_and_not(p in prop_oneof![
+            3 => (0u8..10).prop_map(Pick::A),
+            Just(Pick::B),
+        ]) {
+            match p {
+                Pick::A(x) => prop_assert!(x < 10),
+                Pick::B => {}
+            }
+        }
+
+        #[test]
+        fn string_classes_produce_matching(s in "[a-z]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn float_ranges_work(f in 0.0f64..1.0) {
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_override_applies(x in 0u8..4) {
+            prop_assert!(x < 4);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 3..10);
+        let a = s.sample(&mut crate::case_rng("t", 0));
+        let b = s.sample(&mut crate::case_rng("t", 0));
+        let c = s.sample(&mut crate::case_rng("t", 1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,282 @@
+//! Value-generation strategies for the proptest shim.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for sampling values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic sampler over a seeded [`StdRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type (used by [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy of [`any`](crate::any): full-range arbitrary values.
+#[derive(Debug)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Any<T> {
+    pub(crate) fn new() -> Self {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: crate::Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Weighted union of boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let mut roll = rng.gen_range(0..self.total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if roll < w {
+                return arm.sample(rng);
+            }
+            roll -= w;
+        }
+        unreachable!("roll exceeded total weight")
+    }
+}
+
+/// Result of [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: core::ops::Range<usize>) -> Self {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// String strategy from a `[class]{m,n}` pattern (the only regex shape the
+/// workspace's tests use). Supported: one bracketed class of literal chars
+/// and `a-z`-style ranges, followed by an optional `{m,n}` repetition
+/// (defaults to `{1,1}`). Panics on anything more exotic.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self);
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| {
+        panic!("unsupported string pattern {pattern:?} (expected [class]{{m,n}})")
+    });
+    let (class, rest) = rest
+        .split_once(']')
+        .unwrap_or_else(|| panic!("unterminated class in string pattern {pattern:?}"));
+    let mut chars = Vec::new();
+    let mut it = class.chars().peekable();
+    while let Some(c) = it.next() {
+        if it.peek() == Some(&'-') {
+            let mut ahead = it.clone();
+            ahead.next();
+            if let Some(&end) = ahead.peek() {
+                it.next();
+                it.next();
+                assert!(c <= end, "descending range in class of {pattern:?}");
+                chars.extend((c..=end).filter(|ch| ch.is_ascii()));
+                continue;
+            }
+        }
+        chars.push(c);
+    }
+    assert!(
+        !chars.is_empty(),
+        "empty class in string pattern {pattern:?}"
+    );
+    if rest.is_empty() {
+        return (chars, 1, 1);
+    }
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in string pattern {pattern:?}"));
+    let (min, max) = counts
+        .split_once(',')
+        .unwrap_or_else(|| panic!("repetition must be {{m,n}} in {pattern:?}"));
+    let min: usize = min.trim().parse().expect("min repeat count");
+    let max: usize = max.trim().parse().expect("max repeat count");
+    assert!(min <= max, "descending repetition in {pattern:?}");
+    (chars, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_rng;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (chars, min, max) = parse_class_pattern("[a-z]{0,12}");
+        assert_eq!(chars.len(), 26);
+        assert_eq!((min, max), (0, 12));
+        let (chars, min, max) = parse_class_pattern("[xy]");
+        assert_eq!(chars, vec!['x', 'y']);
+        assert_eq!((min, max), (1, 1));
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = Union::new(vec![(9, (0u8..1).boxed()), (1, (1u8..2).boxed())]);
+        let mut rng = case_rng("weights", 0);
+        let ones = (0..1000).filter(|_| u.sample(&mut rng) == 1).count();
+        assert!(ones > 30 && ones < 300, "~10% expected, got {ones}/1000");
+    }
+}

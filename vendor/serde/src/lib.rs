@@ -1,0 +1,17 @@
+//! Offline in-tree stand-in for the slice of `serde` this workspace uses.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no code path
+//! serializes anything yet), so this shim provides marker traits plus
+//! no-op derive macros. When the build environment gains registry access,
+//! swapping the real serde back in is a one-line change in the workspace
+//! manifest and every derive site keeps compiling.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace derives serde traits on configuration and statistics
+//! types so a future (online) build can serialize them, but no code path
+//! actually serializes today. In this offline build the derives expand to
+//! nothing; the `#[serde(...)]` helper attribute is accepted and ignored.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
