@@ -1,9 +1,10 @@
 //! Workspace lint driver: `cargo run -p vrcache-analysis --bin lint`.
 //!
-//! Walks every tracked `.rs` source (plus DESIGN.md), runs the four lint
-//! passes, prints `file:line: [lint] message` diagnostics, and exits
-//! non-zero if anything fired. `scripts/check.sh` runs this as part of
-//! the pre-merge gate.
+//! Walks every tracked `.rs` source (plus DESIGN.md and the model
+//! checker's transition table), runs the five lint passes, prints
+//! `file:line: [lint] message` diagnostics, and exits non-zero if
+//! anything fired. `scripts/check.sh` runs this as part of the
+//! pre-merge gate.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -32,7 +33,7 @@ fn main() -> ExitCode {
     }
     if diags.is_empty() {
         println!(
-            "lint: clean — {} files checked (determinism, address-hygiene, panic-hygiene, doc-drift)",
+            "lint: clean — {} files checked (determinism, address-hygiene, panic-hygiene, doc-drift, transition-coverage)",
             ws.sources.len()
         );
         ExitCode::SUCCESS

@@ -1,6 +1,6 @@
 //! Static analysis for the vrcache workspace.
 //!
-//! Four lints, run by `cargo run -p vrcache-analysis --bin lint`:
+//! Five lints, run by `cargo run -p vrcache-analysis --bin lint`:
 //!
 //! * **determinism** — simulation results must be a pure function of the
 //!   seed. Wall-clock and entropy sources are forbidden everywhere, and
@@ -12,9 +12,15 @@
 //! * **doc-drift** — DESIGN.md's experiment index must agree with the
 //!   experiment modules and the `repro` binary's subcommands.
 //! * **panic-hygiene** — `unsafe` is forbidden everywhere; `.unwrap()` /
-//!   `.expect(` are forbidden in `crates/core` library code (tests
-//!   excepted), where broken invariants must surface as typed violations,
-//!   not ad-hoc panics.
+//!   `.expect(` are forbidden in `crates/core` and `crates/model` library
+//!   code (tests excepted), where broken invariants must surface as typed
+//!   violations, not ad-hoc panics.
+//! * **transition-coverage** — the coherence transitions the model
+//!   checker exercised (`crates/model/coverage.txt`) must agree with the
+//!   `BusOp` match arms of the `fn snoop` implementations in
+//!   `crates/core`: every exercised transition has an arm, every arm is
+//!   exercised (or allowlisted as unreachable by design), and every
+//!   coherence state appears as a snoop context.
 //!
 //! Every lint is a pure function over an in-memory [`Workspace`], so the
 //! crate's tests seed violations directly without touching the
@@ -57,6 +63,9 @@ pub struct Workspace {
     pub sources: Vec<SourceFile>,
     /// Contents of `DESIGN.md`, if present.
     pub design_md: Option<String>,
+    /// Contents of `crates/model/coverage.txt` (the transition table the
+    /// model checker exercised), if present.
+    pub model_coverage: Option<String>,
 }
 
 impl Workspace {
@@ -104,6 +113,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(lints::address::check(ws));
     diags.extend(lints::panic_hygiene::check(ws));
     diags.extend(lints::doc_drift::check(ws));
+    diags.extend(lints::transitions::check(ws));
     diags.sort();
     diags
 }

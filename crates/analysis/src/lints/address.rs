@@ -52,7 +52,7 @@ mod tests {
     fn ws(path: &str, text: String) -> Workspace {
         Workspace {
             sources: vec![SourceFile::new(path, text)],
-            design_md: None,
+            ..Workspace::default()
         }
     }
 

@@ -45,8 +45,17 @@ const HASH_NEEDLES: &[(&str, &str)] = &[
     ),
 ];
 
-/// Path fragments that mark a file as statistics/report code.
-const STATS_PATHS: &[&str] = &["/stats.rs", "/report.rs", "/experiments/", "/src/analysis/"];
+/// Path fragments that mark a file as statistics/report code. The model
+/// checker is included wholesale: its state canonicalization, coverage
+/// table, and scope reports are all rendered or compared, so any
+/// hash-ordered iteration there breaks run-to-run stability.
+const STATS_PATHS: &[&str] = &[
+    "/stats.rs",
+    "/report.rs",
+    "/experiments/",
+    "/src/analysis/",
+    "crates/model/src/",
+];
 
 /// True when `rel_path` is in the stats/report set where hash-ordered
 /// iteration is forbidden.
@@ -96,7 +105,7 @@ mod tests {
     fn ws(path: &str, text: String) -> Workspace {
         Workspace {
             sources: vec![SourceFile::new(path, text)],
-            design_md: None,
+            ..Workspace::default()
         }
     }
 
@@ -133,6 +142,11 @@ mod tests {
     fn stats_path_predicate() {
         assert!(is_stats_path("crates/trace/src/analysis/calls.rs"));
         assert!(is_stats_path("crates/sim/src/report.rs"));
+        assert!(
+            is_stats_path("crates/model/src/world.rs"),
+            "the model checker's canonical state encoding must stay ordered"
+        );
+        assert!(is_stats_path("crates/model/src/bin/main.rs"));
         assert!(
             !is_stats_path("crates/analysis/src/lib.rs"),
             "this crate is not trace analysis"

@@ -4,3 +4,4 @@ pub mod address;
 pub mod determinism;
 pub mod doc_drift;
 pub mod panic_hygiene;
+pub mod transitions;

@@ -1,13 +1,16 @@
 //! Panic-hygiene lint: no `unsafe` anywhere; no `.unwrap()` / `.expect(`
-//! in `crates/core` library code.
+//! in `crates/core` or `crates/model` library code.
 //!
 //! The core crate implements the paper's algorithm; when one of its
 //! internal invariants breaks, the simulator must report a structured
 //! violation (`InvariantViolation`, `SimError::Invariant`) or take the
 //! `let .. else { unreachable!(..) }` form that names the invariant —
-//! not die inside a combinator chain. Test modules (everything after the
-//! `#[cfg(test)]` marker) are exempt, as are the other crates, whose
-//! binaries and experiment harnesses may legitimately fail fast.
+//! not die inside a combinator chain. The model checker's library code is
+//! held to the same bar: a counterexample must surface as a typed
+//! `Violation`, never as a panic mid-search. Test modules (everything
+//! after the `#[cfg(test)]` marker) and `src/bin/` entry points are
+//! exempt, as are the other crates, whose binaries and experiment
+//! harnesses may legitimately fail fast.
 
 use crate::{code_portion, contains_word, Diagnostic, Workspace};
 
@@ -16,12 +19,23 @@ const UNSAFE_NEEDLE: &str = concat!("uns", "afe");
 const PANIC_NEEDLES: &[&str] = &[concat!(".unw", "rap()"), concat!(".exp", "ect(")];
 const TEST_MARKER: &str = concat!("#[cfg(", "test)]");
 
+/// Crates whose library code (everything under `src/` except `src/bin/`)
+/// must surface broken invariants as typed violations, not panics.
+const STRICT_CRATES: &[&str] = &["crates/core", "crates/model"];
+
+/// True when `rel_path` is library code of a strict crate.
+fn strict_lib(rel_path: &str) -> bool {
+    STRICT_CRATES.iter().any(|c| {
+        rel_path.starts_with(&format!("{c}/src/"))
+            && !rel_path.starts_with(&format!("{c}/src/bin/"))
+    })
+}
+
 /// Runs the panic-hygiene lint.
 pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for file in &ws.sources {
-        let core_lib = file.rel_path.starts_with("crates/core/src/")
-            && !file.rel_path.starts_with("crates/core/src/bin/");
+        let core_lib = strict_lib(&file.rel_path);
         let mut in_tests = false;
         for (idx, raw) in file.text.lines().enumerate() {
             let line = code_portion(raw);
@@ -49,7 +63,7 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
                             line: idx + 1,
                             lint: "panic-hygiene",
                             message: format!(
-                                "`{needle}..` in core library code: surface a typed \
+                                "`{needle}..` in strict-crate library code: surface a typed \
                                  invariant violation or use `let .. else` with a \
                                  named unreachable!()"
                             ),
@@ -70,7 +84,7 @@ mod tests {
     fn ws(path: &str, text: String) -> Workspace {
         Workspace {
             sources: vec![SourceFile::new(path, text)],
-            design_md: None,
+            ..Workspace::default()
         }
     }
 
@@ -93,6 +107,13 @@ mod tests {
     fn core_test_modules_may_unwrap() {
         let text = format!("{}\nmod tests {{\n{}\n}}\n", TEST_MARKER, unwrap_line());
         assert!(check(&ws("crates/core/src/vr.rs", text)).is_empty());
+    }
+
+    #[test]
+    fn model_lib_is_strict_but_its_bin_is_not() {
+        let diags = check(&ws("crates/model/src/world.rs", unwrap_line()));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(check(&ws("crates/model/src/bin/main.rs", unwrap_line())).is_empty());
     }
 
     #[test]

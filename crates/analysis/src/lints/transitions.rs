@@ -1,0 +1,477 @@
+//! Transition-coverage lint: the protocol's `fn snoop` match arms and the
+//! transition table the model checker exercised must agree.
+//!
+//! `crates/model/coverage.txt` is the union of (hierarchy, pre-snoop
+//! coherence context, bus operation) rows the exhaustive small-scope
+//! checker drove through the *real* snoop code. This lint cross-checks
+//! that table against the source of the snoop implementations in
+//! `crates/core`, in both directions:
+//!
+//! 1. **Unhandled transition** — every bus operation the checker
+//!    delivered to a hierarchy must appear as a `BusOp::..` arm inside
+//!    that hierarchy's `fn snoop`. A row with no arm means the protocol
+//!    silently ignores a transaction the system actually produces.
+//! 2. **Dead arm** — every `BusOp::..` the snoop code handles must be
+//!    exercised by at least one scope, unless allowlisted as unreachable
+//!    by design. A dead arm is untested protocol surface: either the
+//!    scopes are too small or the arm is vestigial.
+//! 3. **Context completeness** — for the V-R hierarchy, every `CohState`
+//!    variant (plus absence) must occur as a pre-snoop context in some
+//!    row, so each row of the coherence state × bus event table is known
+//!    to be reached.
+//!
+//! The table is regenerated with
+//! `cargo run --release -p vrcache-model -- --scope all --write-coverage
+//! crates/model/coverage.txt`; a stale table also fails the model crate's
+//! own golden test.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{code_portion, Diagnostic, Workspace};
+
+/// Where the exercised-transition table lives.
+pub const COVERAGE_PATH: &str = "crates/model/coverage.txt";
+
+/// The snoop implementations cross-checked, as (coverage label, file).
+const HIERARCHIES: &[(&str, &str)] = &[
+    ("vr", "crates/core/src/vr.rs"),
+    ("goodman", "crates/core/src/goodman.rs"),
+];
+
+/// Arms that exist in code but are unreachable by design — the snoop
+/// rejects them behind a `debug_assert`, so no scope can exercise them.
+const DEAD_BY_DESIGN: &[(&str, &str)] = &[
+    // Goodman is an invalidation-only protocol; Update is a V-R-only
+    // configuration and its arm exists purely to reject it loudly.
+    ("goodman", "update"),
+];
+
+/// Kebab-cases a `BusOp` variant identifier the way the model checker
+/// labels operations: `ReadModifiedWrite` → `read-modified-write`.
+fn kebab(ident: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in ident.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Counts `{`/`}` on a line, ignoring comment tails and string literals.
+fn brace_delta(raw: &str) -> i32 {
+    let line = code_portion(raw);
+    let mut delta = 0;
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => delta += 1,
+            b'}' if !in_str => delta -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    delta
+}
+
+/// Extracts the body of the trait-level `fn snoop(` from `text`, with the
+/// 1-based line it starts on. Helper methods like `fn snoop_read` do not
+/// match. Returns `None` if no such function exists.
+fn snoop_region(text: &str) -> Option<(usize, String)> {
+    let lines: Vec<&str> = text.lines().collect();
+    let start = lines
+        .iter()
+        .position(|l| code_portion(l).contains("fn snoop("))?;
+    let mut depth = 0;
+    let mut opened = false;
+    let mut region = String::new();
+    for (offset, raw) in lines[start..].iter().enumerate() {
+        region.push_str(raw);
+        region.push('\n');
+        depth += brace_delta(raw);
+        if depth > 0 {
+            opened = true;
+        }
+        if opened && depth <= 0 {
+            return Some((start + 1, region));
+        }
+        let _ = offset;
+    }
+    None
+}
+
+/// Collects every `BusOp::Variant` mentioned in `region`, kebab-cased.
+fn handled_ops(region: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for raw in region.lines() {
+        let line = code_portion(raw);
+        let mut rest = line;
+        while let Some(pos) = rest.find("BusOp::") {
+            let after = &rest[pos + "BusOp::".len()..];
+            let ident: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !ident.is_empty() {
+                out.insert(kebab(&ident));
+            }
+            rest = after;
+        }
+    }
+    out
+}
+
+/// The `CohState` variant names from `crates/core/src/rcache.rs`,
+/// kebab-cased, or an empty set if the enum cannot be found.
+fn coh_states(ws: &Workspace) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let Some(file) = ws.file("crates/core/src/rcache.rs") else {
+        return out;
+    };
+    let mut in_enum = false;
+    for raw in file.text.lines() {
+        let line = code_portion(raw);
+        if line.contains("pub enum CohState") {
+            in_enum = true;
+            continue;
+        }
+        if in_enum {
+            let trimmed = line.trim().trim_end_matches(',');
+            if trimmed == "}" {
+                break;
+            }
+            if !trimmed.is_empty()
+                && trimmed
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_uppercase())
+                && trimmed.chars().all(|c| c.is_ascii_alphanumeric())
+            {
+                out.insert(kebab(trimmed));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the transition-coverage lint.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(coverage) = &ws.model_coverage else {
+        if ws.has_path_prefix("crates/model") {
+            out.push(Diagnostic {
+                file: COVERAGE_PATH.into(),
+                line: 0,
+                lint: "transition-coverage",
+                message: "missing transition table; regenerate with `cargo run --release \
+                          -p vrcache-model -- --scope all --write-coverage \
+                          crates/model/coverage.txt`"
+                    .into(),
+            });
+        }
+        return out;
+    };
+
+    // Parse rows: hierarchy → snooped ops, hierarchy → snoop contexts.
+    let mut snooped: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut contexts: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (idx, raw) in coverage.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let [hier, context, op] = fields[..] else {
+            out.push(Diagnostic {
+                file: COVERAGE_PATH.into(),
+                line: idx + 1,
+                lint: "transition-coverage",
+                message: format!("malformed row `{line}` (want `<hierarchy> <context> <op>`)"),
+            });
+            continue;
+        };
+        if context != "issue" {
+            snooped
+                .entry(hier.to_string())
+                .or_default()
+                .insert(op.to_string());
+            contexts
+                .entry(hier.to_string())
+                .or_default()
+                .insert(context.to_string());
+        }
+    }
+
+    for &(label, path) in HIERARCHIES {
+        let Some(file) = ws.file(path) else {
+            continue;
+        };
+        let Some((snoop_line, region)) = snoop_region(&file.text) else {
+            out.push(Diagnostic {
+                file: path.into(),
+                line: 0,
+                lint: "transition-coverage",
+                message: "no `fn snoop(` implementation found to cross-check".into(),
+            });
+            continue;
+        };
+        let handled = handled_ops(&region);
+        let empty = BTreeSet::new();
+        let exercised = snooped.get(label).unwrap_or(&empty);
+        for op in exercised {
+            if !handled.contains(op) {
+                out.push(Diagnostic {
+                    file: path.into(),
+                    line: snoop_line,
+                    lint: "transition-coverage",
+                    message: format!(
+                        "unhandled transition: the model checker delivered `{op}` to the \
+                         {label} hierarchy but `fn snoop` has no BusOp arm for it"
+                    ),
+                });
+            }
+        }
+        for op in &handled {
+            let allowed = DEAD_BY_DESIGN.contains(&(label, op.as_str()));
+            if !exercised.contains(op) && !allowed {
+                out.push(Diagnostic {
+                    file: path.into(),
+                    line: snoop_line,
+                    lint: "transition-coverage",
+                    message: format!(
+                        "dead arm: `fn snoop` handles `{op}` but no model scope exercises \
+                         it for the {label} hierarchy (extend a scope or allowlist it)"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Context completeness for the V-R hierarchy: every coherence state,
+    // plus absence, must be reached as a pre-snoop context.
+    if ws.file("crates/core/src/vr.rs").is_some() {
+        let mut wanted = coh_states(ws);
+        wanted.insert("absent".into());
+        let empty = BTreeSet::new();
+        let reached = contexts.get("vr").unwrap_or(&empty);
+        for state in wanted {
+            if !reached.contains(&state) {
+                out.push(Diagnostic {
+                    file: COVERAGE_PATH.into(),
+                    line: 0,
+                    lint: "transition-coverage",
+                    message: format!(
+                        "no scope snoops the vr hierarchy in coherence context `{state}`; \
+                         the transition table row for that state is unverified"
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    /// A minimal V-R snoop with all five arms, Goodman-free.
+    fn vr_snoop(arms: &[&str]) -> String {
+        let mut body = String::from(
+            "impl CacheHierarchy for VrHierarchy {\n    fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {\n        match txn.op {\n",
+        );
+        for arm in arms {
+            body.push_str(&format!(
+                "            BusOp::{arm} => self.handle(txn.block),\n"
+            ));
+        }
+        body.push_str("        }\n    }\n}\n");
+        body
+    }
+
+    fn rcache_enum() -> SourceFile {
+        SourceFile::new(
+            "crates/core/src/rcache.rs",
+            "pub enum CohState {\n    Shared,\n    Private,\n}\n",
+        )
+    }
+
+    const FULL_COVERAGE: &str = "vr absent read-miss\nvr shared read-miss\nvr private read-miss\n\
+                                 vr shared invalidate\nvr absent invalidate\n\
+                                 vr absent read-modified-write\nvr private read-modified-write\n\
+                                 vr shared read-modified-write\n\
+                                 vr absent write-back\nvr shared write-back\n\
+                                 vr absent update\nvr shared update\n\
+                                 vr issue read-miss\n";
+
+    fn ws_with(coverage: &str, arms: &[&str]) -> Workspace {
+        Workspace {
+            sources: vec![
+                SourceFile::new("crates/core/src/vr.rs", vr_snoop(arms)),
+                rcache_enum(),
+                SourceFile::new("crates/model/src/lib.rs", ""),
+            ],
+            model_coverage: Some(coverage.to_string()),
+            ..Workspace::default()
+        }
+    }
+
+    const ALL_ARMS: &[&str] = &[
+        "ReadMiss",
+        "Invalidate",
+        "ReadModifiedWrite",
+        "WriteBack",
+        "Update",
+    ];
+
+    #[test]
+    fn complete_table_and_arms_are_clean() {
+        assert_eq!(check(&ws_with(FULL_COVERAGE, ALL_ARMS)), vec![]);
+    }
+
+    #[test]
+    fn removed_match_arm_is_an_unhandled_transition() {
+        // Artificially drop the Invalidate arm: the checker exercised
+        // `invalidate` snoops, so the lint must fail.
+        let arms: Vec<&str> = ALL_ARMS
+            .iter()
+            .copied()
+            .filter(|a| *a != "Invalidate")
+            .collect();
+        let diags = check(&ws_with(FULL_COVERAGE, &arms));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("unhandled transition")
+                    && d.message.contains("`invalidate`")
+                    && d.file == "crates/core/src/vr.rs"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unexercised_arm_is_a_dead_arm() {
+        // Coverage missing every `update` row: the Update arm is dead.
+        let cov: String = FULL_COVERAGE
+            .lines()
+            .filter(|l| !l.contains("update"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let diags = check(&ws_with(&cov, ALL_ARMS));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("dead arm") && d.message.contains("`update`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn goodman_update_arm_is_allowlisted() {
+        let ws = Workspace {
+            sources: vec![SourceFile::new(
+                "crates/core/src/goodman.rs",
+                "    fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {\n        \
+                 if txn.op == BusOp::Update { return SnoopReply::default(); }\n        \
+                 match txn.op {\n            BusOp::ReadMiss => self.r(),\n            \
+                 BusOp::Invalidate | BusOp::ReadModifiedWrite => self.i(),\n            \
+                 BusOp::WriteBack => SnoopReply::default(),\n        }\n    }\n",
+            )],
+            model_coverage: Some(
+                "goodman absent read-miss\ngoodman shared read-miss\n\
+                 goodman shared invalidate\ngoodman absent read-modified-write\n\
+                 goodman absent write-back\n"
+                    .to_string(),
+            ),
+            ..Workspace::default()
+        };
+        assert_eq!(check(&ws), vec![], "update must be dead-by-design");
+    }
+
+    #[test]
+    fn missing_context_is_flagged() {
+        // No row ever snoops vr while `private`.
+        let cov: String = FULL_COVERAGE
+            .lines()
+            .filter(|l| !l.contains("private"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let diags = check(&ws_with(&cov, ALL_ARMS));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("context `private`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_table_is_flagged_only_when_model_crate_exists() {
+        let with_model = Workspace {
+            sources: vec![SourceFile::new("crates/model/src/lib.rs", "")],
+            ..Workspace::default()
+        };
+        let diags = check(&with_model);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("missing transition table"));
+
+        let without = Workspace::default();
+        assert_eq!(check(&without), vec![]);
+    }
+
+    #[test]
+    fn malformed_rows_are_reported() {
+        let ws = Workspace {
+            model_coverage: Some("# ok\nvr shared\n".to_string()),
+            sources: vec![],
+            ..Workspace::default()
+        };
+        let diags = check(&ws);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("malformed row"));
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn kebab_matches_model_labels() {
+        assert_eq!(kebab("ReadMiss"), "read-miss");
+        assert_eq!(kebab("ReadModifiedWrite"), "read-modified-write");
+        assert_eq!(kebab("Update"), "update");
+    }
+
+    #[test]
+    fn snoop_region_skips_helper_methods() {
+        let text = "fn snoop_read(&mut self) {\n    BusOp::Update;\n}\n\
+                    fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {\n    \
+                    match txn.op { BusOp::ReadMiss => x() }\n}\n";
+        let (line, region) = snoop_region(text).expect("found");
+        assert_eq!(line, 4);
+        let ops = handled_ops(&region);
+        assert!(ops.contains("read-miss"));
+        assert!(!ops.contains("update"), "helper must not leak in");
+    }
+
+    #[test]
+    fn real_workspace_is_clean() {
+        use crate::walk;
+        use std::path::Path;
+        let root = walk::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let ws = walk::load(&root).expect("load");
+        assert!(
+            ws.model_coverage.is_some(),
+            "crates/model/coverage.txt must be checked in"
+        );
+        assert_eq!(check(&ws), vec![]);
+    }
+}

@@ -28,17 +28,24 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Loads every tracked `.rs` file under `root` (skipping [`SKIP_DIRS`])
-/// plus `DESIGN.md`, into an in-memory [`Workspace`].
+/// plus `DESIGN.md` and the model checker's transition-coverage table,
+/// into an in-memory [`Workspace`].
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors other than a missing `DESIGN.md`.
+/// Propagates filesystem errors other than a missing `DESIGN.md` or
+/// coverage table.
 pub fn load(root: &Path) -> io::Result<Workspace> {
     let mut sources = Vec::new();
     collect_rs(root, root, &mut sources)?;
     sources.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
     let design_md = fs::read_to_string(root.join("DESIGN.md")).ok();
-    Ok(Workspace { sources, design_md })
+    let model_coverage = fs::read_to_string(root.join("crates/model/coverage.txt")).ok();
+    Ok(Workspace {
+        sources,
+        design_md,
+        model_coverage,
+    })
 }
 
 fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {

@@ -56,6 +56,15 @@ impl MainMemory {
         self.blocks.insert(block, version);
     }
 
+    /// All blocks ever written, with their current versions, sorted by
+    /// block id. Deterministic regardless of internal hashing — intended
+    /// for state snapshots (model checking) and debugging.
+    pub fn snapshot(&self) -> Vec<(BlockId, Version)> {
+        let mut all: Vec<_> = self.blocks.iter().map(|(&b, &v)| (b, v)).collect();
+        all.sort_unstable_by_key(|&(b, _)| b);
+        all
+    }
+
     /// Number of memory reads serviced.
     pub fn reads(&self) -> u64 {
         self.reads

@@ -141,6 +141,15 @@ impl VersionOracle {
         }
     }
 
+    /// Every written block with its newest version, sorted by block id.
+    /// Deterministic regardless of internal hashing — intended for state
+    /// snapshots (model checking) and end-state comparisons in tests.
+    pub fn snapshot(&self) -> Vec<(BlockId, Version)> {
+        let mut all: Vec<_> = self.newest.iter().map(|(&b, &v)| (b, v)).collect();
+        all.sort_unstable_by_key(|&(b, _)| b);
+        all
+    }
+
     /// Number of read checks performed (useful to assert the oracle really
     /// ran in tests).
     pub fn checks(&self) -> u64 {

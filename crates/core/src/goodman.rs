@@ -38,7 +38,7 @@ use vrcache_trace::record::MemAccess;
 use crate::bus_api::{BusRequest, SnoopReply, SystemBus};
 use crate::config::HierarchyConfig;
 use crate::events::HierarchyEvents;
-use crate::hierarchy::{AccessOutcome, CacheHierarchy, SynonymKind};
+use crate::hierarchy::{AccessOutcome, BlockPresence, CacheHierarchy, SynonymKind};
 use crate::invariant::{InvariantExpect, InvariantViolation};
 use crate::vcache::{VCache, VMeta};
 
@@ -113,6 +113,13 @@ impl GoodmanHierarchy {
     /// The cache.
     pub fn cache(&self) -> &VCache {
         &self.l1
+    }
+
+    /// Whether the real directory holds exclusive write permission for
+    /// `granule` (first-level physical block). Observational — exposed for
+    /// state snapshots in the model checker.
+    pub fn granule_private(&self, granule: BlockId) -> bool {
+        self.private.get(&granule).copied().unwrap_or(false)
     }
 
     fn bus_block_of(&self, p1: BlockId) -> BlockId {
@@ -379,6 +386,26 @@ impl CacheHierarchy for GoodmanHierarchy {
             reply.supplied = Some(supplied);
         }
         reply
+    }
+
+    fn coh_presence(&self, block: BlockId) -> BlockPresence {
+        // The real directory tracks granules; summarise at the bus-block
+        // granularity the snooper sees: exclusive if any granule is held
+        // private, present if any granule is cached at all.
+        let mut present = false;
+        for g in self.granules_of(block) {
+            if self.reverse.contains_key(&g) {
+                present = true;
+                if self.granule_private(g) {
+                    return BlockPresence::Private;
+                }
+            }
+        }
+        if present {
+            BlockPresence::Shared
+        } else {
+            BlockPresence::Absent
+        }
     }
 
     fn cpu(&self) -> CpuId {

@@ -2,6 +2,7 @@
 
 use vrcache_bus::oracle::{CoherenceViolation, VersionOracle};
 use vrcache_bus::txn::BusTransaction;
+use vrcache_cache::geometry::BlockId;
 use vrcache_cache::stats::CacheStats;
 use vrcache_cache::write_buffer::WriteBufferStats;
 use vrcache_mem::access::CpuId;
@@ -11,6 +12,34 @@ use vrcache_trace::record::MemAccess;
 use crate::bus_api::{SnoopReply, SystemBus};
 use crate::events::HierarchyEvents;
 use crate::invariant::InvariantViolation;
+
+/// A snapshot of one hierarchy's coherence standing on a second-level
+/// block, as seen from outside (model checking and protocol-coverage
+/// tooling). This is the "state" axis of the coherence state × bus event
+/// transition table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BlockPresence {
+    /// No copy of the block anywhere in this hierarchy.
+    Absent,
+    /// A copy held without write permission.
+    Shared,
+    /// A copy held with exclusive write permission.
+    Private,
+    /// The implementation does not expose its coherence state.
+    Unknown,
+}
+
+impl BlockPresence {
+    /// Stable lower-case label used in coverage tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockPresence::Absent => "absent",
+            BlockPresence::Shared => "shared",
+            BlockPresence::Private => "private",
+            BlockPresence::Unknown => "unknown",
+        }
+    }
+}
 
 /// How a V-cache miss that hit in the R-cache found its data already
 /// resident under another virtual address.
@@ -84,6 +113,16 @@ pub trait CacheHierarchy: Send {
     /// Services a foreign bus transaction (called by the system bus for
     /// every transaction issued by *another* processor).
     fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply;
+
+    /// This hierarchy's coherence standing on a second-level `block`
+    /// (physical, second-level granularity). Purely observational — used by
+    /// the model checker to label exercised transitions; implementations
+    /// without an exposed coherence state may leave the default
+    /// [`BlockPresence::Unknown`].
+    fn coh_presence(&self, block: BlockId) -> BlockPresence {
+        let _ = block;
+        BlockPresence::Unknown
+    }
 
     /// This hierarchy's processor.
     fn cpu(&self) -> CpuId;

@@ -44,7 +44,7 @@ use crate::config::{
     CoherenceProtocol, ContextSwitchPolicy, HierarchyConfig, L1Organization, L1WritePolicy,
 };
 use crate::events::HierarchyEvents;
-use crate::hierarchy::{AccessOutcome, CacheHierarchy, SynonymKind};
+use crate::hierarchy::{AccessOutcome, BlockPresence, CacheHierarchy, SynonymKind};
 use crate::invariant::{self, InvariantChecker, InvariantExpect, InvariantViolation};
 use crate::rcache::{ChildCache, CohState, RCache, RMeta};
 use crate::vcache::{VCache, VMeta};
@@ -935,6 +935,16 @@ impl CacheHierarchy for VrHierarchy {
         };
         self.verify_after("snoop");
         reply
+    }
+
+    fn coh_presence(&self, block: BlockId) -> BlockPresence {
+        // Inclusion means the R-cache tag array is the whole story: no V
+        // line or buffered write exists without a resident R parent.
+        match self.l2.peek(block).map(|line| line.meta.state) {
+            Some(CohState::Private) => BlockPresence::Private,
+            Some(CohState::Shared) => BlockPresence::Shared,
+            None => BlockPresence::Absent,
+        }
     }
 
     fn cpu(&self) -> CpuId {

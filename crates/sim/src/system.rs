@@ -2,7 +2,6 @@
 
 use core::fmt;
 
-use vrcache::bus_api::{BusRequest, BusResponse, SystemBus};
 use vrcache::config::HierarchyConfig;
 use vrcache::events::HierarchyEvents;
 use vrcache::hierarchy::CacheHierarchy;
@@ -17,6 +16,8 @@ use vrcache_cache::stats::CacheStats;
 use vrcache_mem::access::CpuId;
 use vrcache_trace::record::TraceEvent;
 use vrcache_trace::trace::Trace;
+
+use crate::snoop::SnoopingBus;
 
 /// Which hierarchy organization every processor of the system uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -276,13 +277,13 @@ impl System {
                     }
                     let mut h = self.hierarchies[idx].take().expect("not reentrant");
                     let result = {
-                        let mut bus = SnoopingBus {
-                            source: a.cpu,
-                            others: &mut self.hierarchies,
-                            memory: &mut self.memory,
-                            stats: &mut self.bus_stats,
-                            subblocks: self.subblocks,
-                        };
+                        let mut bus = SnoopingBus::new(
+                            a.cpu,
+                            &mut self.hierarchies,
+                            &mut self.memory,
+                            &mut self.bus_stats,
+                            self.subblocks,
+                        );
                         h.access(a, &mut bus, &mut self.oracle)
                     };
                     self.hierarchies[idx] = Some(h);
@@ -414,13 +415,13 @@ impl System {
         for i in 0..self.hierarchies.len() {
             let mut h = self.hierarchies[i].take().expect("not reentrant");
             {
-                let mut bus = SnoopingBus {
-                    source: h.cpu(),
-                    others: &mut self.hierarchies,
-                    memory: &mut self.memory,
-                    stats: &mut self.bus_stats,
-                    subblocks: self.subblocks,
-                };
+                let mut bus = SnoopingBus::new(
+                    h.cpu(),
+                    &mut self.hierarchies,
+                    &mut self.memory,
+                    &mut self.bus_stats,
+                    self.subblocks,
+                );
                 disturbed += h.tlb_shootdown(asid, vpn, &mut bus);
             }
             self.hierarchies[i] = Some(h);
@@ -475,94 +476,6 @@ impl fmt::Debug for System {
 /// The pseudo-CPU identity DMA transactions carry on the bus (devices are
 /// not processors; the id only needs to differ from every real CPU).
 pub const DMA_AGENT: CpuId = CpuId::new(u16::MAX);
-
-/// The snooping-bus implementation handed to a hierarchy during an access:
-/// it walks every *other* hierarchy and the shared memory.
-struct SnoopingBus<'a> {
-    source: CpuId,
-    others: &'a mut [Option<Box<dyn CacheHierarchy>>],
-    memory: &'a mut MainMemory,
-    stats: &'a mut BusStats,
-    subblocks: u32,
-}
-
-impl SnoopingBus<'_> {
-    /// Fetch path shared by read-miss and read-modified-write.
-    fn fetch(&mut self, op: BusOp, block: BlockId) -> BusResponse {
-        let txn = BusTransaction::new(op, self.source, block);
-        let mut shared = false;
-        let mut supplied: Option<Vec<(BlockId, vrcache_bus::oracle::Version)>> = None;
-        for h in self.others.iter_mut().flatten() {
-            let reply = h.snoop(&txn);
-            shared |= reply.has_copy;
-            if let Some(s) = reply.supplied {
-                debug_assert!(supplied.is_none(), "two owners supplied the same block");
-                supplied = Some(s);
-            }
-        }
-        // A dirty owner updates memory as it supplies.
-        if let Some(granules) = &supplied {
-            for (g, v) in granules {
-                self.memory.write(*g, *v);
-            }
-        }
-        self.stats.record(op, supplied.is_some());
-        let base = block.raw() * u64::from(self.subblocks);
-        let granule_versions = (0..u64::from(self.subblocks))
-            .map(|i| self.memory.read(BlockId::new(base + i)))
-            .collect();
-        BusResponse {
-            shared_elsewhere: shared,
-            granule_versions,
-        }
-    }
-}
-
-impl SystemBus for SnoopingBus<'_> {
-    fn issue(&mut self, request: BusRequest) -> BusResponse {
-        match request {
-            BusRequest::ReadMiss { block, .. } => self.fetch(BusOp::ReadMiss, block),
-            BusRequest::ReadModifiedWrite { block, .. } => {
-                self.fetch(BusOp::ReadModifiedWrite, block)
-            }
-            BusRequest::Invalidate { block } => {
-                let txn = BusTransaction::new(BusOp::Invalidate, self.source, block);
-                for h in self.others.iter_mut().flatten() {
-                    let _ = h.snoop(&txn);
-                }
-                self.stats.record(BusOp::Invalidate, false);
-                BusResponse::default()
-            }
-            BusRequest::WriteBack { block, granules } => {
-                for (g, v) in granules {
-                    self.memory.write(g, v);
-                }
-                self.stats.record(BusOp::WriteBack, false);
-                let txn = BusTransaction::new(BusOp::WriteBack, self.source, block);
-                for h in self.others.iter_mut().flatten() {
-                    let _ = h.snoop(&txn);
-                }
-                BusResponse::default()
-            }
-            BusRequest::Update {
-                block,
-                granule,
-                version,
-            } => {
-                let txn = BusTransaction::update(self.source, block, granule, version);
-                let mut shared = false;
-                for h in self.others.iter_mut().flatten() {
-                    shared |= h.snoop(&txn).has_copy;
-                }
-                self.stats.record(BusOp::Update, false);
-                BusResponse {
-                    shared_elsewhere: shared,
-                    granule_versions: Vec::new(),
-                }
-            }
-        }
-    }
-}
 
 #[cfg(test)]
 mod tests {

@@ -13,6 +13,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> model checker (smoke scope)"
+cargo run -q --release -p vrcache-model -- --scope smoke
+
 echo "==> workspace lints"
 cargo run -q --release -p vrcache-analysis --bin lint
 

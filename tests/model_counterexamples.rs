@@ -1,0 +1,42 @@
+//! Regression tests replaying counterexample scripts found by the model
+//! checker.
+//!
+//! When `cargo run -p vrcache-model` finds a violation it prints a
+//! minimized event script *and* the source of a `#[test]` that replays
+//! it — paste that test here so the bug stays fixed. No counterexample
+//! has survived to the current tree, so this file only pins the replay
+//! plumbing itself.
+
+use vrcache_model::{replay, ModelEvent, Scope};
+
+/// The replay entry point every emitted counterexample test goes
+/// through: a clean script must replay cleanly, on every scope.
+#[test]
+fn clean_scripts_replay_cleanly() {
+    for scope in Scope::all() {
+        replay(&scope, &[]).unwrap();
+        let events = [
+            ModelEvent::Write { cpu: 0, mapping: 0 },
+            ModelEvent::Read { cpu: 0, mapping: 1 },
+            ModelEvent::ContextSwitch { cpu: 0 },
+            ModelEvent::Shootdown { mapping: 0 },
+            ModelEvent::Read { cpu: 0, mapping: 2 },
+        ];
+        replay(&scope, &events).unwrap();
+    }
+}
+
+/// A replay failure is reported, not swallowed: an out-of-range mapping
+/// index is the only way to make `replay` panic, so instead check that
+/// the error string of a genuine violation would carry the event index —
+/// by format contract, exercised through the emitted-test path in
+/// `vrcache_model::bfs` unit tests. Here, assert scripts touching every
+/// alphabet event of the smoke scope replay cleanly (the exhaustive run
+/// proves the general case; this is the cheap always-on echo of it).
+#[test]
+fn smoke_alphabet_replays_cleanly_one_event_at_a_time() {
+    let scope = Scope::by_name("smoke").unwrap();
+    for event in scope.events() {
+        replay(&scope, &[event]).unwrap();
+    }
+}
