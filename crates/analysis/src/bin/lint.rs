@@ -1,17 +1,75 @@
 //! Workspace lint driver: `cargo run -p vrcache-analysis --bin lint`.
 //!
-//! Walks every tracked `.rs` source (plus DESIGN.md and the model
-//! checker's transition table), runs the five lint passes, prints
+//! Walks every tracked `.rs` source (plus DESIGN.md, the model
+//! checker's transition table, the mutation baseline, and the latest
+//! mutation report), runs the six lint passes, prints
 //! `file:line: [lint] message` diagnostics, and exits non-zero if
 //! anything fired. `scripts/check.sh` runs this as part of the
 //! pre-merge gate.
+//!
+//! With `--json` the same diagnostics are emitted as one JSON object
+//! (`{"checked_files": N, "violations": [{file, line, lint, message}]}`)
+//! so CI can render them as annotations; the text output is unchanged
+//! by the flag's existence.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use vrcache_analysis::{run_all, walk};
+use vrcache_analysis::{run_all, walk, Diagnostic};
+
+/// Escapes a string for a JSON string literal (quotes, backslashes,
+/// control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(checked_files: usize, diags: &[Diagnostic]) -> String {
+    let rows: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&d.file),
+                d.line,
+                json_escape(d.lint),
+                json_escape(&d.message)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"checked_files\": {},\n  \"violations\": [{}\n  ]\n}}\n",
+        checked_files,
+        if rows.is_empty() {
+            String::new()
+        } else {
+            format!("\n{}", rows.join(",\n"))
+        }
+    )
+}
 
 fn main() -> ExitCode {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("lint: unknown argument `{other}` (usage: lint [--json])");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let cwd = std::env::current_dir().expect("current directory is readable");
     let start = std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| Path::new(&d).to_path_buf())
@@ -28,12 +86,20 @@ fn main() -> ExitCode {
         }
     };
     let diags = run_all(&ws);
+    if json {
+        print!("{}", render_json(ws.sources.len(), &diags));
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     for d in &diags {
         println!("{d}");
     }
     if diags.is_empty() {
         println!(
-            "lint: clean — {} files checked (determinism, address-hygiene, panic-hygiene, doc-drift, transition-coverage)",
+            "lint: clean — {} files checked (determinism, address-hygiene, panic-hygiene, doc-drift, transition-coverage, mutation-baseline)",
             ws.sources.len()
         );
         ExitCode::SUCCESS

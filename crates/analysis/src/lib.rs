@@ -1,6 +1,6 @@
 //! Static analysis for the vrcache workspace.
 //!
-//! Five lints, run by `cargo run -p vrcache-analysis --bin lint`:
+//! Six lints, run by `cargo run -p vrcache-analysis --bin lint`:
 //!
 //! * **determinism** — simulation results must be a pure function of the
 //!   seed. Wall-clock and entropy sources are forbidden everywhere, and
@@ -21,6 +21,13 @@
 //!   `crates/core`: every exercised transition has an arm, every arm is
 //!   exercised (or allowlisted as unreachable by design), and every
 //!   coherence state appears as a snoop context.
+//! * **mutation-baseline** — the surviving-mutant allowlist
+//!   (`crates/mutate/baseline.txt`) must stay in lockstep with the
+//!   mutants `vrcache-mutate` derives from today's sources: every entry
+//!   must name a real mutant with a justification, and a mutation run's
+//!   report (`target/mutation-report.txt`) may contain no survivor the
+//!   baseline doesn't allowlist and no allowlisted mutant that was in
+//!   fact killed.
 //!
 //! Every lint is a pure function over an in-memory [`Workspace`], so the
 //! crate's tests seed violations directly without touching the
@@ -66,6 +73,12 @@ pub struct Workspace {
     /// Contents of `crates/model/coverage.txt` (the transition table the
     /// model checker exercised), if present.
     pub model_coverage: Option<String>,
+    /// Contents of `crates/mutate/baseline.txt` (the surviving-mutant
+    /// allowlist), if present.
+    pub mutation_baseline: Option<String>,
+    /// Contents of `target/mutation-report.txt` (the latest mutation
+    /// run), if present.
+    pub mutation_report: Option<String>,
 }
 
 impl Workspace {
@@ -114,6 +127,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(lints::panic_hygiene::check(ws));
     diags.extend(lints::doc_drift::check(ws));
     diags.extend(lints::transitions::check(ws));
+    diags.extend(lints::mutation::check(ws));
     diags.sort();
     diags
 }

@@ -3,5 +3,6 @@
 pub mod address;
 pub mod determinism;
 pub mod doc_drift;
+pub mod mutation;
 pub mod panic_hygiene;
 pub mod transitions;

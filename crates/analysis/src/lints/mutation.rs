@@ -1,0 +1,252 @@
+//! Mutation-baseline lint: the surviving-mutant allowlist must be real,
+//! justified, and complete.
+//!
+//! `vrcache-mutate` derives a deterministic mutant set from the
+//! protocol-critical sources and pins the mutants the kill pipeline
+//! cannot detect in `crates/mutate/baseline.txt`. This lint keeps that
+//! pin honest without running any mutant:
+//!
+//! * the baseline must exist and parse, every entry carrying a
+//!   non-empty justification;
+//! * every entry must correspond to a mutant derivable from *today's*
+//!   sources (stale IDs mean the code moved on and the entry must be
+//!   re-earned), with matching file and operator;
+//! * if a mutation run's report is present
+//!   (`target/mutation-report.txt`), every surviving mutant that is
+//!   still derivable must be allowlisted, and no allowlisted mutant may
+//!   have been killed (a killed entry is a test-suite win the baseline
+//!   must record by shrinking).
+//!
+//! Report rows whose IDs are no longer derivable are ignored: the
+//! report is build output and may trail the sources; the authoritative
+//! cross-check against current code is the regenerated mutant set.
+//!
+//! The lint is inactive while the workspace has no `crates/mutate`
+//! (seed trees, minimized test workspaces).
+
+use std::collections::BTreeMap;
+
+use vrcache_mutate::baseline::Baseline;
+use vrcache_mutate::report::{Report, Status};
+use vrcache_mutate::{generate, Mutant, MutantId};
+
+use crate::{Diagnostic, Workspace};
+
+const LINT: &str = "mutation-baseline";
+const BASELINE_PATH: &str = "crates/mutate/baseline.txt";
+const REPORT_PATH: &str = "target/mutation-report.txt";
+
+/// Runs the mutation-baseline lint.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    if !ws.has_path_prefix("crates/mutate") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+
+    let refs: Vec<(&str, &str)> = ws
+        .sources
+        .iter()
+        .map(|f| (f.rel_path.as_str(), f.text.as_str()))
+        .collect();
+    let mutants = generate(&refs);
+    let by_id: BTreeMap<MutantId, &Mutant> = mutants.iter().map(|m| (m.id, m)).collect();
+
+    let Some(baseline_text) = &ws.mutation_baseline else {
+        out.push(Diagnostic {
+            file: BASELINE_PATH.to_string(),
+            line: 0,
+            lint: LINT,
+            message: "missing surviving-mutant baseline — run \
+                      `cargo run --release -p vrcache-mutate -- --suite full` and pin \
+                      the survivors"
+                .to_string(),
+        });
+        return out;
+    };
+    let (baseline, issues) = Baseline::parse(baseline_text);
+    for issue in issues {
+        out.push(Diagnostic {
+            file: BASELINE_PATH.to_string(),
+            line: issue.line,
+            lint: LINT,
+            message: issue.message,
+        });
+    }
+    for entry in &baseline.entries {
+        match by_id.get(&entry.id) {
+            None => out.push(Diagnostic {
+                file: BASELINE_PATH.to_string(),
+                line: entry.line,
+                lint: LINT,
+                message: format!(
+                    "stale entry: no mutant derivable from today's sources has ID {} \
+                     (the mutated code changed — re-run the full sweep and re-earn \
+                     or drop the entry)",
+                    entry.id
+                ),
+            }),
+            Some(m) => {
+                if m.file != entry.file || m.op != entry.op {
+                    out.push(Diagnostic {
+                        file: BASELINE_PATH.to_string(),
+                        line: entry.line,
+                        lint: LINT,
+                        message: format!(
+                            "entry {} claims `{} {}` but the generated mutant is `{} {}`",
+                            entry.id, entry.file, entry.op, m.file, m.op
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if let Some(report_text) = &ws.mutation_report {
+        let report = Report::parse(report_text);
+        for row in &report.rows {
+            // Rows the current sources can no longer derive are stale
+            // build output, not evidence.
+            if !by_id.contains_key(&row.id) {
+                continue;
+            }
+            if row.status == Status::Survived && !baseline.contains(row.id) {
+                out.push(Diagnostic {
+                    file: REPORT_PATH.to_string(),
+                    line: 0,
+                    lint: LINT,
+                    message: format!(
+                        "surviving mutant {} ({}:{} {}) is not allowlisted — add a \
+                         killing test or a justified {BASELINE_PATH} entry",
+                        row.id, row.file, row.line, row.op
+                    ),
+                });
+            }
+            if row.status.is_killed() && baseline.contains(row.id) {
+                out.push(Diagnostic {
+                    file: BASELINE_PATH.to_string(),
+                    line: baseline
+                        .entries
+                        .iter()
+                        .find(|e| e.id == row.id)
+                        .map_or(0, |e| e.line),
+                    lint: LINT,
+                    message: format!(
+                        "allowlisted mutant {} was killed ({}) — the suite improved; \
+                         remove the entry",
+                        row.id,
+                        row.status.label()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    /// A target source yielding exactly one cmp-flip plus one
+    /// early-return mutant, small enough to reason about by hand.
+    const TARGET: &str = "crates/core/src/inclusion.rs";
+    const TARGET_SRC: &str = "fn check(a: u32, b: u32) -> bool {\n    a == b\n}\n";
+
+    fn ws(baseline: Option<String>, report: Option<String>) -> Workspace {
+        Workspace {
+            sources: vec![
+                SourceFile::new(TARGET, TARGET_SRC),
+                SourceFile::new("crates/mutate/src/lib.rs", ""),
+            ],
+            mutation_baseline: baseline,
+            mutation_report: report,
+            ..Workspace::default()
+        }
+    }
+
+    fn generated() -> Vec<Mutant> {
+        generate(&[(TARGET, TARGET_SRC)])
+    }
+
+    #[test]
+    fn inactive_without_a_mutate_crate() {
+        let ws = Workspace {
+            sources: vec![SourceFile::new(TARGET, TARGET_SRC)],
+            ..Workspace::default()
+        };
+        assert!(check(&ws).is_empty());
+    }
+
+    #[test]
+    fn missing_baseline_is_flagged() {
+        let diags = check(&ws(None, None));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("missing"));
+    }
+
+    #[test]
+    fn empty_baseline_with_no_report_is_clean() {
+        assert!(check(&ws(Some("# none\n".to_string()), None)).is_empty());
+    }
+
+    #[test]
+    fn stale_and_mismatched_entries_are_flagged() {
+        let m = &generated()[0];
+        let stale = format!("ffffffffffffffff {} {} — gone\n", m.file, m.op);
+        let diags = check(&ws(Some(stale), None));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("stale entry"), "{diags:?}");
+
+        let mismatched = format!("{} crates/core/src/vr.rs {} — wrong file\n", m.id, m.op);
+        let diags = check(&ws(Some(mismatched), None));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("claims"), "{diags:?}");
+    }
+
+    #[test]
+    fn unallowlisted_survivor_in_report_fails() {
+        let m = &generated()[0];
+        let report = format!(
+            "{} {}:{} {} survived — {}\n",
+            m.id, m.file, m.line, m.op, m.description
+        );
+        let diags = check(&ws(Some("# empty\n".to_string()), Some(report.clone())));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("not allowlisted"), "{diags:?}");
+
+        // Allowlisting it makes the same report clean.
+        let baseline = format!("{} {} {} — equivalent mutant\n", m.id, m.file, m.op);
+        assert!(check(&ws(Some(baseline), Some(report))).is_empty());
+    }
+
+    #[test]
+    fn killed_but_allowlisted_entry_fails() {
+        let m = &generated()[0];
+        let baseline = format!("{} {} {} — thought unkillable\n", m.id, m.file, m.op);
+        let report = format!(
+            "{} {}:{} {} killed:test — {}\n",
+            m.id, m.file, m.line, m.op, m.description
+        );
+        let diags = check(&ws(Some(baseline), Some(report)));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("remove the entry"), "{diags:?}");
+    }
+
+    #[test]
+    fn undervivable_report_rows_are_ignored() {
+        // A report row whose ID no longer derives from the sources is
+        // stale build output, not a violation.
+        let report = "ffffffffffffffff crates/core/src/vr.rs:1 cmp-flip survived — old\n";
+        assert!(check(&ws(Some("# empty\n".to_string()), Some(report.to_string()))).is_empty());
+    }
+
+    #[test]
+    fn real_workspace_is_clean() {
+        let root = crate::walk::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let ws = crate::walk::load(&root).expect("load workspace");
+        let diags = check(&ws);
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+}

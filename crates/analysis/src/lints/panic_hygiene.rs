@@ -1,5 +1,6 @@
 //! Panic-hygiene lint: no `unsafe` anywhere; no `.unwrap()` / `.expect(`
-//! in `crates/core` or `crates/model` library code.
+//! in the library code of `crates/core`, `crates/model`, `crates/cache`,
+//! or `crates/bus`.
 //!
 //! The core crate implements the paper's algorithm; when one of its
 //! internal invariants breaks, the simulator must report a structured
@@ -7,10 +8,12 @@
 //! `let .. else { unreachable!(..) }` form that names the invariant —
 //! not die inside a combinator chain. The model checker's library code is
 //! held to the same bar: a counterexample must surface as a typed
-//! `Violation`, never as a panic mid-search. Test modules (everything
-//! after the `#[cfg(test)]` marker) and `src/bin/` entry points are
-//! exempt, as are the other crates, whose binaries and experiment
-//! harnesses may legitimately fail fast.
+//! `Violation`, never as a panic mid-search. The cache and bus crates
+//! sit under core on every simulated access, so their library code is
+//! strict too. Test modules (everything after the `#[cfg(test)]`
+//! marker) and `src/bin/` entry points are exempt, as are the other
+//! crates, whose binaries and experiment harnesses may legitimately
+//! fail fast.
 
 use crate::{code_portion, contains_word, Diagnostic, Workspace};
 
@@ -21,7 +24,7 @@ const TEST_MARKER: &str = concat!("#[cfg(", "test)]");
 
 /// Crates whose library code (everything under `src/` except `src/bin/`)
 /// must surface broken invariants as typed violations, not panics.
-const STRICT_CRATES: &[&str] = &["crates/core", "crates/model"];
+const STRICT_CRATES: &[&str] = &["crates/bus", "crates/cache", "crates/core", "crates/model"];
 
 /// True when `rel_path` is library code of a strict crate.
 fn strict_lib(rel_path: &str) -> bool {
@@ -114,6 +117,14 @@ mod tests {
         let diags = check(&ws("crates/model/src/world.rs", unwrap_line()));
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert!(check(&ws("crates/model/src/bin/main.rs", unwrap_line())).is_empty());
+    }
+
+    #[test]
+    fn cache_and_bus_libs_are_strict() {
+        for path in ["crates/cache/src/array.rs", "crates/bus/src/txn.rs"] {
+            let diags = check(&ws(path, unwrap_line()));
+            assert_eq!(diags.len(), 1, "{path}: {diags:?}");
+        }
     }
 
     #[test]

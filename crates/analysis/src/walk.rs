@@ -28,23 +28,28 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Loads every tracked `.rs` file under `root` (skipping [`SKIP_DIRS`])
-/// plus `DESIGN.md` and the model checker's transition-coverage table,
-/// into an in-memory [`Workspace`].
+/// plus `DESIGN.md`, the model checker's transition-coverage table, the
+/// mutation baseline, and the latest mutation report, into an in-memory
+/// [`Workspace`].
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors other than a missing `DESIGN.md` or
-/// coverage table.
+/// Propagates filesystem errors other than a missing optional document
+/// (`DESIGN.md`, coverage table, baseline, report).
 pub fn load(root: &Path) -> io::Result<Workspace> {
     let mut sources = Vec::new();
     collect_rs(root, root, &mut sources)?;
     sources.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
     let design_md = fs::read_to_string(root.join("DESIGN.md")).ok();
     let model_coverage = fs::read_to_string(root.join("crates/model/coverage.txt")).ok();
+    let mutation_baseline = fs::read_to_string(root.join("crates/mutate/baseline.txt")).ok();
+    let mutation_report = fs::read_to_string(root.join("target/mutation-report.txt")).ok();
     Ok(Workspace {
         sources,
         design_md,
         model_coverage,
+        mutation_baseline,
+        mutation_report,
     })
 }
 

@@ -173,9 +173,9 @@ impl<M> CacheArray<M> {
         // 2. Preferred victims.
         let mut preferred_mask = 0u64;
         for w in 0..ways {
-            let line = self.lines[base + w as usize]
-                .as_ref()
-                .expect("no invalid way remains");
+            let Some(line) = self.lines[base + w as usize].as_ref() else {
+                unreachable!("step 1 returned unless every way is valid");
+            };
             if prefer(line) {
                 preferred_mask |= 1 << w;
             }
@@ -190,9 +190,9 @@ impl<M> CacheArray<M> {
                 } else {
                     (1u64 << ways) - 1
                 };
-                let w = state
-                    .victim(self.policy, all, draw)
-                    .expect("set has valid ways");
+                let Some(w) = state.victim(self.policy, all, draw) else {
+                    unreachable!("a full set always yields a victim over the all-ways mask");
+                };
                 (w, true)
             }
         };
@@ -238,11 +238,12 @@ impl<M> CacheArray<M> {
     {
         let mut removed = 0;
         for slot in self.lines.iter_mut() {
-            if let Some(line) = slot {
-                if !pred(line) {
-                    on_removed(slot.take().expect("slot just matched"));
-                    removed += 1;
-                }
+            if slot.as_ref().is_some_and(|line| !pred(line)) {
+                let Some(line) = slot.take() else {
+                    unreachable!("slot matched the predicate above");
+                };
+                on_removed(line);
+                removed += 1;
             }
         }
         removed

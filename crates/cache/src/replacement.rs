@@ -268,6 +268,28 @@ mod tests {
     }
 
     #[test]
+    fn candidate_bits_beyond_the_way_count_are_masked() {
+        // A caller passing a sloppy all-ones mask must still get a real
+        // way back: bits at and above `ways` are stripped before the
+        // policy looks at the candidates. Way 63's bit would win a
+        // `rng_draw` of 63 if the mask leaked through.
+        let s = SetState::new(4);
+        for p in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let v = s.victim(p, u64::MAX, 63).unwrap();
+            assert!(v < 4, "{p:?} picked way {v} of a 4-way set");
+        }
+        // The 64-way edge case takes the all-ways mask path (a plain
+        // `(1 << ways) - 1` would overflow there).
+        let full = SetState::new(64);
+        assert_eq!(full.victim(ReplacementPolicy::Lru, u64::MAX, 0), Some(0));
+        assert_eq!(full.victim(ReplacementPolicy::Random, 1 << 63, 5), Some(63));
+    }
+
+    #[test]
     fn random_covers_all_candidates() {
         let s = SetState::new(4);
         let mut rng = XorShift64::new(7);
@@ -319,6 +341,100 @@ mod tests {
         // Victim would be 0; exclude the left subtree entirely.
         let v = s.victim(p, 0b1100, 0).unwrap();
         assert!(v == 2 || v == 3);
+    }
+
+    /// An independent tree-PLRU oracle built on interval halving instead of
+    /// bit-shift walks, so a slip in either formulation shows up as a
+    /// disagreement.
+    struct RefPlru {
+        /// Per-internal-node flag: `true` means the victim search prefers
+        /// the upper half of the node's way interval.
+        prefer_upper: Vec<bool>,
+        ways: u32,
+    }
+
+    impl RefPlru {
+        fn new(ways: u32) -> Self {
+            RefPlru {
+                prefer_upper: vec![false; ways.saturating_sub(1) as usize],
+                ways,
+            }
+        }
+
+        fn touch(&mut self, way: u32) {
+            let (mut lo, mut hi, mut node) = (0u32, self.ways, 0usize);
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if way < mid {
+                    self.prefer_upper[node] = true;
+                    node = 2 * node + 1;
+                    hi = mid;
+                } else {
+                    self.prefer_upper[node] = false;
+                    node = 2 * node + 2;
+                    lo = mid;
+                }
+            }
+        }
+
+        fn victim(&self, candidates: u64) -> Option<u32> {
+            let full = if self.ways == 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.ways) - 1
+            };
+            if candidates & full == 0 {
+                return None;
+            }
+            let has = |a: u32, b: u32| (a..b).any(|w| candidates & (1 << w) != 0);
+            let (mut lo, mut hi, mut node) = (0u32, self.ways, 0usize);
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                let upper = if self.prefer_upper[node] {
+                    has(mid, hi)
+                } else {
+                    !has(lo, mid)
+                };
+                if upper {
+                    node = 2 * node + 2;
+                    lo = mid;
+                } else {
+                    node = 2 * node + 1;
+                    hi = mid;
+                }
+            }
+            Some(lo)
+        }
+    }
+
+    #[test]
+    fn plru_matches_the_reference_model() {
+        let p = ReplacementPolicy::TreePlru;
+        for ways in [2u32, 4, 8, 16] {
+            let mut s = SetState::new(ways);
+            let mut r = RefPlru::new(ways);
+            let full = (1u64 << ways) - 1;
+            let mut x = 0x0123_4567_89AB_CDEFu64;
+            for step in 0..400u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let way = ((x >> 33) as u32) % ways;
+                s.on_access(p, way, step);
+                r.touch(way);
+                assert_eq!(
+                    s.victim(p, full, 0),
+                    r.victim(full),
+                    "full-mask victim diverged: ways={ways} step={step}"
+                );
+                let mask = (x >> 7) & full;
+                assert_eq!(
+                    s.victim(p, mask, 0),
+                    r.victim(mask),
+                    "masked victim diverged: ways={ways} step={step} mask={mask:#b}"
+                );
+            }
+        }
     }
 
     #[test]

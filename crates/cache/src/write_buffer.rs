@@ -216,6 +216,16 @@ mod tests {
     }
 
     #[test]
+    fn is_empty_reflects_pending_entries() {
+        let mut wb: WriteBuffer<()> = WriteBuffer::new(2);
+        assert!(wb.is_empty());
+        wb.push(BlockId::new(1), (), 0);
+        assert!(!wb.is_empty(), "a pending entry must be visible");
+        wb.drain_one();
+        assert!(wb.is_empty());
+    }
+
+    #[test]
     fn overflow_forces_oldest_and_counts_stall() {
         let mut wb: WriteBuffer<()> = WriteBuffer::new(2);
         assert!(wb.push(BlockId::new(1), (), 0).is_none());

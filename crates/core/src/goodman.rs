@@ -521,6 +521,112 @@ mod tests {
     }
 
     #[test]
+    fn granule_private_tracks_write_permission() {
+        let mut r = Rig::new();
+        let g = cfg().l1.block_of(0x9000);
+        assert!(!r.h.granule_private(g), "nothing is cached yet");
+        r.go(AccessKind::DataWrite, 0x1000, 0x9000);
+        assert!(
+            r.h.granule_private(g),
+            "a completed write holds exclusive permission"
+        );
+    }
+
+    #[test]
+    fn rmw_snoop_supplies_dirty_data_and_invalidate_does_not() {
+        // Read-modified-write is read + invalidate: the dirty copy must be
+        // flushed onto the bus before the invalidation takes it. A plain
+        // invalidation only targets clean copies and supplies nothing.
+        let mut r = Rig::new();
+        r.go(AccessKind::DataWrite, 0x1000, 0x9000);
+        let bus_block = r.h.bus_block_of(cfg().l1.block_of(0x9000));
+        let reply = r.h.snoop(&BusTransaction::new(
+            BusOp::ReadModifiedWrite,
+            CpuId::new(1),
+            bus_block,
+        ));
+        assert!(reply.has_copy);
+        assert!(reply.supplied.is_some(), "dirty data rides the RMW reply");
+        assert_eq!(r.h.events().flush_v, 1);
+        assert_eq!(r.h.events().inval_v, 1);
+
+        let mut r = Rig::new();
+        r.go(AccessKind::DataWrite, 0x1000, 0x9000);
+        let reply = r.h.snoop(&BusTransaction::new(
+            BusOp::Invalidate,
+            CpuId::new(1),
+            bus_block,
+        ));
+        assert!(reply.has_copy);
+        assert!(
+            reply.supplied.is_none(),
+            "an invalidation drops the data without supplying it"
+        );
+        assert_eq!(r.h.events().flush_v, 0);
+        assert_eq!(r.h.events().inval_v, 1);
+    }
+
+    #[test]
+    fn synonym_kind_distinguishes_same_set_from_move() {
+        let mut r = Rig::new();
+        // Blocks 0x100 and 0x200 both land in set 0 of the 16-set array.
+        r.go(AccessKind::DataRead, 0x1000, 0x9000);
+        let out = r.go(AccessKind::DataRead, 0x2000, 0x9000);
+        assert_eq!(out.synonym, Some(SynonymKind::SameSet));
+        assert_eq!(r.h.events().synonym_sameset, 1);
+        assert_eq!(r.h.events().synonym_move, 0);
+
+        // Blocks 0x101 (set 1) and 0x202 (set 2): the copy must move.
+        r.go(AccessKind::DataRead, 0x1010, 0x9010);
+        let out = r.go(AccessKind::DataRead, 0x2020, 0x9010);
+        assert_eq!(out.synonym, Some(SynonymKind::Move));
+        assert_eq!(r.h.events().synonym_move, 1);
+    }
+
+    #[test]
+    fn synonym_resolution_installs_a_visible_line() {
+        let mut r = Rig::new();
+        r.go(AccessKind::DataWrite, 0x1000, 0x9000);
+        assert!(r.go(AccessKind::DataRead, 0x2000, 0x9000).synonym.is_some());
+        // The re-installed line is live, not swapped: the very next access
+        // under the new name must hit without touching the bus.
+        assert!(r.go(AccessKind::DataRead, 0x2000, 0x9000).l1_hit);
+    }
+
+    #[test]
+    fn shootdown_retires_both_ends_of_the_page() {
+        let mut r = Rig::new();
+        // First and last block of the 4 KiB page at vpn 1 — the boundary
+        // cases of the retirement walk.
+        r.go(AccessKind::DataRead, 0x1000, 0x9000);
+        r.go(AccessKind::DataRead, 0x1ff0, 0x9ff0);
+        let vpn = r.h.page.vpn_of(VirtAddr::new(0x1000));
+        let disturbed = r.h.tlb_shootdown(Asid::new(1), vpn, &mut r.bus);
+        assert_eq!(disturbed, 2, "page-edge blocks must both be retired");
+    }
+
+    #[test]
+    fn only_swapped_lines_count_as_swapped_writebacks() {
+        let mut r = Rig::new();
+        r.go(AccessKind::DataWrite, 0x1000, 0x9000);
+        // Same-set conflict evicts the dirty line while it is still live.
+        r.go(AccessKind::DataRead, 0x1100, 0xa100);
+        assert_eq!(r.h.events().l1_writebacks, 1);
+        assert_eq!(
+            r.h.events().swapped_writebacks,
+            0,
+            "a live dirty eviction is an ordinary write-back"
+        );
+        r.go(AccessKind::DataWrite, 0x1100, 0xa100);
+        r.h.context_switch(Asid::new(1), Asid::new(2));
+        // The marked line is invisible now; re-touching it retires the
+        // swapped dirty copy first.
+        r.go(AccessKind::DataRead, 0x1100, 0xa100);
+        assert_eq!(r.h.events().l1_writebacks, 2);
+        assert_eq!(r.h.events().swapped_writebacks, 1);
+    }
+
+    #[test]
     fn real_directory_resolves_synonyms_locally() {
         let mut r = Rig::new();
         r.go(AccessKind::DataWrite, 0x1000, 0x9000);

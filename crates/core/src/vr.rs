@@ -373,12 +373,10 @@ impl VrHierarchy {
 
     /// Obtains write permission for granule `p1` (whose parent is resident):
     /// invalidates other cached copies if the line is shared and marks the
-    /// line private. With `set_vdirty` (the write-back policy) the subentry
-    /// is marked vdirty; the write-through path instead routes the data
-    /// through the buffer.
-    fn obtain_write_permission(&mut self, p1: BlockId, bus: &mut dyn SystemBus, set_vdirty: bool) {
+    /// line private. The callers mark vdirty (write-back) or route the data
+    /// through the buffer (write-through) themselves.
+    fn obtain_write_permission(&mut self, p1: BlockId, bus: &mut dyn SystemBus) {
         let p2 = self.l2.l2_block_of(p1);
-        let si = self.l2.sub_index(p1);
         let shared = {
             let line = self
                 .l2
@@ -390,10 +388,6 @@ impl VrHierarchy {
             bus.issue(BusRequest::Invalidate { block: p2 });
             let line = self.l2.peek_mut(p2).invariant_expect("still resident");
             line.meta.state = CohState::Private;
-        }
-        if set_vdirty {
-            let line = self.l2.peek_mut(p2).invariant_expect("still resident");
-            line.meta.subs[si].vdirty = true;
         }
     }
 
@@ -431,7 +425,7 @@ impl VrHierarchy {
         match self.protocol {
             CoherenceProtocol::Invalidation => {
                 if !already_exclusive {
-                    self.obtain_write_permission(p1, bus, false);
+                    self.obtain_write_permission(p1, bus);
                 }
             }
             CoherenceProtocol::Update => {
@@ -662,7 +656,7 @@ impl CacheHierarchy for VrHierarchy {
                     }
                     L1WritePolicy::WriteThrough => {
                         debug_assert!(!meta.dirty, "write-through lines stay clean");
-                        self.obtain_write_permission(p1, bus, false);
+                        self.obtain_write_permission(p1, bus);
                         let v = oracle.on_write(self.cpu, p1);
                         let line = self
                             .front_mut(child)
@@ -1019,7 +1013,7 @@ impl VrHierarchy {
                 line.meta.subs[si].inclusion = false;
                 line.meta.subs[si].vdirty = false;
             }
-            self.obtain_write_permission(p1, bus, false);
+            self.obtain_write_permission(p1, bus);
             true
         } else {
             let resp = bus.issue(BusRequest::ReadModifiedWrite {
@@ -1103,6 +1097,78 @@ mod tests {
         fn write(&mut self, va: u64, pa: u64) -> AccessOutcome {
             self.go(AccessKind::DataWrite, va, pa)
         }
+    }
+
+    #[test]
+    fn update_protocol_allows_write_back_first_level() {
+        // Only the update + write-through *combination* is rejected;
+        // update over the default write-back first level is a modeled
+        // design point and must construct and run.
+        let mut r = Rig::new(&cfg().with_update_protocol());
+        r.write(0x1000, 0x9000);
+        assert!(r.read(0x1000, 0x9000).l1_hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "not modeled")]
+    fn update_protocol_rejects_write_through_first_level() {
+        let cfg = cfg().with_update_protocol().with_write_through();
+        let _ = VrHierarchy::new(CpuId::new(0), &cfg);
+    }
+
+    #[test]
+    fn coh_presence_mirrors_the_r_cache_state() {
+        let mut r = Rig::new(&cfg());
+        let p2 = cfg().l2.block_of(0x9000);
+        assert_eq!(r.h.coh_presence(p2), BlockPresence::Absent);
+        r.write(0x1000, 0x9000);
+        assert_eq!(r.h.coh_presence(p2), BlockPresence::Private);
+        // A foreign read-miss downgrades the copy.
+        let reply =
+            r.h.snoop(&BusTransaction::new(BusOp::ReadMiss, CpuId::new(1), p2));
+        assert!(reply.has_copy);
+        assert_eq!(r.h.coh_presence(p2), BlockPresence::Shared);
+    }
+
+    #[test]
+    fn shootdown_retires_the_first_block_of_the_page() {
+        let mut r = Rig::new(&cfg());
+        // A page-aligned virtual address lands in the page's block 0 —
+        // the boundary case of the retirement walk.
+        r.read(0x1000, 0x9000);
+        let vpn = cfg().page.vpn_of(VirtAddr::new(0x1000));
+        let disturbed = r.h.tlb_shootdown(Asid::new(1), vpn, &mut r.bus);
+        assert_eq!(disturbed, 1, "the page's first block must be retired");
+    }
+
+    #[test]
+    fn update_snoop_supersedes_the_buffered_write() {
+        let mut c = cfg().with_update_protocol();
+        c.wb_drain_period = 1000; // keep the buffered write-back pending
+        let mut r = Rig::new(&c);
+        r.write(0x1000, 0x9000);
+        // Same V set, different page: evicts the dirty line into the
+        // write buffer and sets its parent's buffer bit.
+        r.read(0x1100, 0x9100);
+        assert!(!r.h.write_buffer().is_empty());
+        let p1 = cfg().l1.block_of(0x9000);
+        let p2 = cfg().l2.block_of(0x9000);
+        let v = r.oracle.on_write(CpuId::new(1), p1);
+        let txn = BusTransaction {
+            op: BusOp::Update,
+            source: CpuId::new(1),
+            block: p2,
+            update: Some((p1, v)),
+        };
+        let reply = r.h.snoop(&txn);
+        assert!(reply.has_copy);
+        assert_eq!(r.h.events().update_buffer, 1);
+        assert!(
+            r.h.write_buffer().is_empty(),
+            "the broadcast supersedes the buffered older write"
+        );
+        r.h.check_invariants()
+            .expect("buffer bit cleared together with its entry");
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! The pinned surviving-mutant allowlist, `crates/mutate/baseline.txt`.
+//!
+//! Every mutant the full sweep fails to kill must either get a new
+//! killing test or an entry here, with a one-line justification for why
+//! the survival is acceptable (equivalent mutant, observability limit,
+//! …). The file is golden-tested the same way `crates/model/coverage.txt`
+//! is: the `mutation-baseline` lint in `vrcache-analysis` regenerates
+//! the mutant set and fails when an entry goes stale (its ID no longer
+//! corresponds to real source) or when a fresh survivor is missing.
+//!
+//! Row format: `<id> <file> <operator> — <justification>`. `#` comments
+//! and blank lines are ignored.
+
+use crate::{MutantId, Operator};
+
+/// One allowlisted survivor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Stable mutant identity.
+    pub id: MutantId,
+    /// Target file the mutant edits.
+    pub file: String,
+    /// Operator that produced it.
+    pub op: Operator,
+    /// Why surviving is acceptable.
+    pub justification: String,
+    /// 1-based line in `baseline.txt` (for diagnostics).
+    pub line: usize,
+}
+
+/// A malformed baseline row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIssue {
+    /// 1-based line in `baseline.txt`.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses leniently, collecting per-line issues instead of failing,
+    /// so a lint can report every problem at once.
+    pub fn parse(text: &str) -> (Baseline, Vec<ParseIssue>) {
+        let mut entries = Vec::new();
+        let mut issues = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let Some((head, justification)) = trimmed.split_once(" — ") else {
+                issues.push(ParseIssue {
+                    line,
+                    message: "expected `<id> <file> <op> — <justification>`".to_string(),
+                });
+                continue;
+            };
+            let fields: Vec<&str> = head.split_whitespace().collect();
+            let &[id, file, op] = fields.as_slice() else {
+                issues.push(ParseIssue {
+                    line,
+                    message: format!("expected 3 fields before ` — `, found {}", fields.len()),
+                });
+                continue;
+            };
+            let Some(id) = MutantId::parse(id) else {
+                issues.push(ParseIssue {
+                    line,
+                    message: format!("`{id}` is not a 16-hex-digit mutant ID"),
+                });
+                continue;
+            };
+            let Some(op) = Operator::parse(op) else {
+                issues.push(ParseIssue {
+                    line,
+                    message: format!("`{op}` is not a mutation operator"),
+                });
+                continue;
+            };
+            let justification = justification.trim();
+            if justification.is_empty() {
+                issues.push(ParseIssue {
+                    line,
+                    message: "empty justification".to_string(),
+                });
+                continue;
+            }
+            if entries.iter().any(|e: &BaselineEntry| e.id == id) {
+                issues.push(ParseIssue {
+                    line,
+                    message: format!("duplicate entry for mutant {id}"),
+                });
+                continue;
+            }
+            entries.push(BaselineEntry {
+                id,
+                file: file.to_string(),
+                op,
+                justification: justification.to_string(),
+                line,
+            });
+        }
+        (Baseline { entries }, issues)
+    }
+
+    /// Renders the checked-in file (header comment + entries as given).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Surviving-mutant allowlist for the vrcache mutation engine.\n\
+             # Regenerate candidates: cargo run --release -p vrcache-mutate -- --suite full\n\
+             # Row: <id> <file> <operator> — <one-line justification>.\n\
+             # Every entry must correspond to a real generated mutant; the\n\
+             # mutation-baseline lint fails on stale IDs and fresh survivors.\n",
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{} {} {} — {}\n",
+                e.id, e.file, e.op, e.justification
+            ));
+        }
+        out
+    }
+
+    /// Whether `id` is allowlisted.
+    pub fn contains(&self, id: MutantId) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trips() {
+        let b = Baseline {
+            entries: vec![BaselineEntry {
+                id: MutantId(0xfeed_beef_dead_cafe),
+                file: "crates/core/src/vr.rs".to_string(),
+                op: Operator::CmpFlip,
+                justification: "masked by the invariant checker".to_string(),
+                line: 6,
+            }],
+        };
+        let (parsed, issues) = Baseline::parse(&b.render());
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(parsed, b);
+        assert!(parsed.contains(MutantId(0xfeed_beef_dead_cafe)));
+        assert!(!parsed.contains(MutantId(1)));
+    }
+
+    #[test]
+    fn malformed_rows_become_issues() {
+        let text = "no dash here\n\
+                    zzzz crates/x cmp-flip — ok\n\
+                    0000000000000001 crates/x bad-op — ok\n\
+                    0000000000000001 crates/x cmp-flip — \n\
+                    0000000000000002 crates/x cmp-flip — fine\n\
+                    0000000000000002 crates/x cmp-flip — dup\n";
+        let (b, issues) = Baseline::parse(text);
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(issues.len(), 5, "{issues:?}");
+        let lines: Vec<usize> = issues.iter().map(|i| i.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 4, 6]);
+    }
+}

@@ -1,0 +1,523 @@
+//! Mutation-testing driver: `cargo run -p vrcache-mutate`.
+//!
+//! ```text
+//! vrcache-mutate [--suite smoke|full] [--list] [--jobs N]
+//!                [--timeout-secs N] [--report <path>] [--filter <substr>]
+//!                [--write-baseline]
+//! ```
+//!
+//! Generates the deterministic mutant set for the protocol-critical
+//! sources, then executes each mutant in an isolated scratch copy of
+//! the workspace (`target/mutate/worker-<k>`, one per job, reusing its
+//! incremental `target/` across mutants) through the staged kill
+//! pipeline:
+//!
+//! 1. `cargo check -p vrcache -p vrcache-cache` — failure ⇒ build-error
+//! 2. `cargo test -p vrcache -p vrcache-cache` — failure ⇒ killed:test
+//! 3. `cargo run -p vrcache-model -- --scope all` — failure ⇒ killed:model
+//!    (the full battery: the multi-CPU scopes are what catch coherence
+//!    faults the single-CPU unit tests cannot, and the whole battery
+//!    runs in a few seconds even unoptimized)
+//!
+//! A stage exceeding the timeout kills the mutant (non-termination is
+//! detection). Survivors must be allowlisted in
+//! `crates/mutate/baseline.txt`; the run exits non-zero on any
+//! un-allowlisted survivor, stale baseline entry, or allowlisted mutant
+//! that this run killed. The report (`target/mutation-report.txt` by
+//! default) is deterministic: two runs of the same suite are
+//! byte-identical.
+
+use std::fs::{self, File};
+use std::io;
+use std::path::Path;
+use std::process::{Command, ExitCode, Stdio};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use vrcache_mutate::baseline::Baseline;
+use vrcache_mutate::report::{Report, Status};
+use vrcache_mutate::{find_root, generate, load_targets, smoke_subset, Mutant};
+
+/// Deterministic cap for the CI smoke subset.
+const SMOKE_CAP: usize = 25;
+
+struct Args {
+    suite: Suite,
+    list: bool,
+    jobs: Option<usize>,
+    timeout_secs: u64,
+    report: Option<String>,
+    filter: Option<String>,
+    write_baseline: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Suite {
+    Smoke,
+    Full,
+}
+
+impl Suite {
+    fn label(self) -> &'static str {
+        match self {
+            Suite::Smoke => "smoke",
+            Suite::Full => "full",
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: vrcache-mutate [--suite smoke|full] [--list] [--jobs N] \
+     [--timeout-secs N] [--report <path>] [--filter <substr>] [--write-baseline]"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        suite: Suite::Smoke,
+        list: false,
+        jobs: None,
+        timeout_secs: 300,
+        report: None,
+        filter: None,
+        write_baseline: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--suite" => {
+                args.suite = match value("--suite")?.as_str() {
+                    "smoke" => Suite::Smoke,
+                    "full" => Suite::Full,
+                    other => return Err(format!("unknown suite `{other}`\n{}", usage())),
+                };
+            }
+            "--list" => args.list = true,
+            "--jobs" => {
+                args.jobs = Some(
+                    value("--jobs")?
+                        .parse()
+                        .map_err(|e| format!("--jobs: {e}"))?,
+                );
+            }
+            "--timeout-secs" => {
+                args.timeout_secs = value("--timeout-secs")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-secs: {e}"))?;
+            }
+            "--report" => args.report = Some(value("--report")?),
+            "--filter" => args.filter = Some(value("--filter")?),
+            "--write-baseline" => args.write_baseline = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Directories never copied into a scratch workspace.
+const COPY_SKIP: &[&str] = &["target", ".git"];
+
+fn copy_tree(src: &Path, dst: &Path) -> io::Result<()> {
+    fs::create_dir_all(dst)?;
+    let mut entries: Vec<_> = fs::read_dir(src)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name();
+        let lossy = name.to_string_lossy();
+        if COPY_SKIP.contains(&lossy.as_ref()) {
+            continue;
+        }
+        let from = entry.path();
+        let to = dst.join(&name);
+        if from.is_dir() {
+            copy_tree(&from, &to)?;
+        } else {
+            fs::copy(&from, &to)?;
+        }
+    }
+    Ok(())
+}
+
+/// (Re)creates a scratch workspace: everything except its `target/` is
+/// deleted and re-copied from the real root, so a crashed previous run
+/// cannot leave mutated source behind while the incremental build cache
+/// is preserved.
+fn refresh_scratch(root: &Path, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        if entry.file_name().to_string_lossy() == "target" {
+            continue;
+        }
+        let path = entry.path();
+        if path.is_dir() {
+            fs::remove_dir_all(&path)?;
+        } else {
+            fs::remove_file(&path)?;
+        }
+    }
+    copy_tree(root, dir)
+}
+
+enum StageOutcome {
+    Pass,
+    Fail,
+    Timeout,
+}
+
+/// Runs one cargo stage in `dir`, output to `log`, bounded by polling
+/// `try_wait` (the workspace forbids wall-clock reads; sleep ticks are
+/// deterministic enough for a timeout).
+fn run_stage(
+    dir: &Path,
+    cargo_args: &[&str],
+    timeout_secs: u64,
+    log: &Path,
+) -> io::Result<StageOutcome> {
+    let log_file = File::create(log)?;
+    let err_file = log_file.try_clone()?;
+    let mut child = Command::new("cargo")
+        .args(cargo_args)
+        .current_dir(dir)
+        .env("CARGO_NET_OFFLINE", "true")
+        .stdin(Stdio::null())
+        .stdout(log_file)
+        .stderr(err_file)
+        .spawn()?;
+    let mut ticks: u64 = 0;
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok(if status.success() {
+                StageOutcome::Pass
+            } else {
+                StageOutcome::Fail
+            });
+        }
+        if ticks >= timeout_secs.saturating_mul(10) {
+            child.kill()?;
+            child.wait()?;
+            return Ok(StageOutcome::Timeout);
+        }
+        thread::sleep(Duration::from_millis(100));
+        ticks += 1;
+    }
+}
+
+/// The staged kill pipeline, cheapest oracle first.
+const STAGES: &[(&str, &[&str])] = &[
+    (
+        "check",
+        &["check", "-q", "-p", "vrcache", "-p", "vrcache-cache"],
+    ),
+    (
+        "test",
+        &["test", "-q", "-p", "vrcache", "-p", "vrcache-cache"],
+    ),
+    (
+        "model",
+        &["run", "-q", "-p", "vrcache-model", "--", "--scope", "all"],
+    ),
+];
+
+fn run_pipeline(dir: &Path, timeout_secs: u64) -> io::Result<Status> {
+    for &(name, cargo_args) in STAGES {
+        let log = dir.join(format!("mutate-stage-{name}.log"));
+        match run_stage(dir, cargo_args, timeout_secs, &log)? {
+            StageOutcome::Pass => continue,
+            StageOutcome::Fail => {
+                return Ok(match name {
+                    "check" => Status::BuildError,
+                    "test" => Status::KilledTest,
+                    _ => Status::KilledModel,
+                });
+            }
+            StageOutcome::Timeout => {
+                return Ok(if name == "check" {
+                    Status::BuildError
+                } else {
+                    Status::KilledTimeout
+                });
+            }
+        }
+    }
+    Ok(Status::Survived)
+}
+
+/// Executes `mutants` (paired with their global result slots) in `dir`:
+/// write mutated file, run stages, restore pristine text. Results go to
+/// `tx` as they finish.
+fn run_worker(
+    dir: &Path,
+    mutants: &[(usize, Mutant)],
+    pristine: &[(String, String)],
+    timeout_secs: u64,
+    tx: &mpsc::Sender<(usize, Status)>,
+) {
+    for &(slot, ref m) in mutants {
+        let Some((_, source)) = pristine.iter().find(|(path, _)| *path == m.file) else {
+            eprintln!("mutate: {}: target {} not loaded", m.id, m.file);
+            continue;
+        };
+        let path = dir.join(&m.file);
+        let status = match m.apply(source) {
+            Ok(mutated) => {
+                let run = fs::write(&path, mutated)
+                    .and_then(|()| run_pipeline(dir, timeout_secs))
+                    .and_then(|status| fs::write(&path, source).map(|()| status));
+                match run {
+                    Ok(status) => status,
+                    Err(e) => {
+                        eprintln!("mutate: {}: pipeline error: {e}", m.id);
+                        let _ = fs::write(&path, source);
+                        Status::BuildError
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("mutate: {}: cannot apply: {e}", m.id);
+                Status::BuildError
+            }
+        };
+        if tx.send((slot, status)).is_err() {
+            return;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cwd = std::env::current_dir().expect("current directory is readable");
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| Path::new(&d).to_path_buf())
+        .unwrap_or_else(|_| cwd.clone());
+    let Some(root) = find_root(&start).or_else(|| find_root(&cwd)) else {
+        eprintln!("mutate: no workspace root (Cargo.toml with [workspace]) above {start:?}");
+        return ExitCode::from(2);
+    };
+
+    let pristine = match load_targets(&root) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mutate: cannot read target files under {root:?}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let refs: Vec<(&str, &str)> = pristine
+        .iter()
+        .map(|(p, t)| (p.as_str(), t.as_str()))
+        .collect();
+    let all = generate(&refs);
+
+    let mut selected = match args.suite {
+        Suite::Full => all.clone(),
+        Suite::Smoke => smoke_subset(&all, SMOKE_CAP),
+    };
+    if let Some(filter) = &args.filter {
+        selected.retain(|m| m.id.to_string().contains(filter) || m.file.contains(filter));
+    }
+    println!(
+        "mutate: {} mutants generated, {} selected (suite: {})",
+        all.len(),
+        selected.len(),
+        args.suite.label()
+    );
+
+    if args.list {
+        for m in &selected {
+            println!(
+                "{} {}:{} {} — {}",
+                m.id, m.file, m.line, m.op, m.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // One scratch workspace per job; warm each up on pristine source so
+    // a broken tree or environment aborts before any mutant runs.
+    let default_jobs = thread::available_parallelism().map_or(1, |n| n.get().min(4));
+    let jobs = args
+        .jobs
+        .unwrap_or(default_jobs)
+        .clamp(1, 16)
+        .min(selected.len().max(1));
+    let mut worker_dirs = Vec::new();
+    for k in 0..jobs {
+        let dir = root
+            .join("target")
+            .join("mutate")
+            .join(format!("worker-{k}"));
+        if let Err(e) = refresh_scratch(&root, &dir) {
+            eprintln!("mutate: cannot prepare scratch {dir:?}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("mutate: warming up worker {k} ({dir:?})");
+        match run_pipeline(&dir, args.timeout_secs.max(600)) {
+            Ok(Status::Survived) => {}
+            Ok(other) => {
+                eprintln!(
+                    "mutate: worker {k} warm-up failed ({}) — the pristine tree must pass \
+                     every stage; see mutate-stage-*.log in {dir:?}",
+                    other.label()
+                );
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("mutate: worker {k} warm-up error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        worker_dirs.push(dir);
+    }
+
+    // Round-robin assignment keeps per-worker load even; report order
+    // is re-sorted later, so completion order is irrelevant.
+    let mut assignments: Vec<Vec<(usize, Mutant)>> = vec![Vec::new(); jobs];
+    for (i, m) in selected.iter().enumerate() {
+        assignments[i % jobs].push((i, m.clone()));
+    }
+    let (tx, rx) = mpsc::channel();
+    let mut statuses: Vec<Option<Status>> = vec![None; selected.len()];
+    thread::scope(|scope| {
+        for (dir, work) in worker_dirs.iter().zip(&assignments) {
+            let tx = tx.clone();
+            let pristine = &pristine;
+            scope.spawn(move || {
+                run_worker(dir, work, pristine, args.timeout_secs, &tx);
+            });
+        }
+        drop(tx);
+        let total = selected.len();
+        let mut done = 0;
+        for (slot, status) in rx {
+            done += 1;
+            let m = &selected[slot];
+            eprintln!(
+                "mutate: [{done}/{total}] {} {}:{} {} → {}",
+                m.id,
+                m.file,
+                m.line,
+                m.op,
+                status.label()
+            );
+            statuses[slot] = Some(status);
+        }
+    });
+
+    let results: Vec<(Mutant, Status)> = selected
+        .iter()
+        .zip(&statuses)
+        .filter_map(|(m, s)| s.map(|s| (m.clone(), s)))
+        .collect();
+    let report = Report::new(args.suite.label(), &results);
+    let report_path = match &args.report {
+        Some(p) => root.join(p),
+        None => root.join("target").join("mutation-report.txt"),
+    };
+    if let Some(parent) = report_path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    if let Err(e) = fs::write(&report_path, report.render()) {
+        eprintln!("mutate: cannot write {report_path:?}: {e}");
+        return ExitCode::from(2);
+    }
+    let counts = report.counts();
+    let score = report
+        .score_percent()
+        .map_or("n/a".to_string(), |s| format!("{s:.1}%"));
+    println!(
+        "mutate: suite {} — {} mutants, score {score} ({})",
+        args.suite.label(),
+        report.rows.len(),
+        counts
+            .iter()
+            .map(|(k, v)| format!("{k}: {v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("mutate: wrote {}", report_path.display());
+
+    let baseline_path = root.join("crates/mutate/baseline.txt");
+    if args.write_baseline {
+        let entries: Vec<vrcache_mutate::baseline::BaselineEntry> = report
+            .with_status(Status::Survived)
+            .map(|r| vrcache_mutate::baseline::BaselineEntry {
+                id: r.id,
+                file: r.file.clone(),
+                op: r.op,
+                justification: format!("unreviewed survivor: {}", r.description),
+                line: 0,
+            })
+            .collect();
+        let b = Baseline { entries };
+        if let Err(e) = fs::write(&baseline_path, b.render()) {
+            eprintln!("mutate: cannot write {baseline_path:?}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "mutate: wrote {} ({} survivors) — review every justification",
+            baseline_path.display(),
+            b.entries.len()
+        );
+    }
+
+    // Enforce the pinned baseline: fresh survivors, stale entries, and
+    // allowlisted-but-killed entries all fail the run.
+    let baseline_text = fs::read_to_string(&baseline_path).unwrap_or_default();
+    let (baseline, issues) = Baseline::parse(&baseline_text);
+    let mut failed = false;
+    for issue in &issues {
+        println!("mutate: baseline.txt:{}: {}", issue.line, issue.message);
+        failed = true;
+    }
+    for entry in &baseline.entries {
+        if !all.iter().any(|m| m.id == entry.id) {
+            println!(
+                "mutate: baseline.txt:{}: stale entry {} — no generated mutant has this ID",
+                entry.line, entry.id
+            );
+            failed = true;
+        }
+    }
+    for row in report.with_status(Status::Survived) {
+        if !baseline.contains(row.id) {
+            println!(
+                "mutate: SURVIVOR {} {}:{} {} — {} (add a killing test or allowlist it)",
+                row.id, row.file, row.line, row.op, row.description
+            );
+            failed = true;
+        }
+    }
+    for row in &report.rows {
+        if row.status.is_killed() && baseline.contains(row.id) {
+            println!(
+                "mutate: {} is allowlisted but was killed ({}) — remove its baseline entry",
+                row.id,
+                row.status.label()
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("mutate: baseline consistent — no un-allowlisted survivors");
+        ExitCode::SUCCESS
+    }
+}

@@ -19,4 +19,11 @@ cargo run -q --release -p vrcache-model -- --scope smoke
 echo "==> workspace lints"
 cargo run -q --release -p vrcache-analysis --bin lint
 
+# Opt-in: MUTATE=1 runs the bounded mutation smoke sweep (~25 mutants,
+# a few minutes on one core). The full sweep is `--suite full`.
+if [[ "${MUTATE:-0}" == "1" ]]; then
+  echo "==> mutation smoke sweep"
+  cargo run -q --release -p vrcache-mutate -- --suite smoke
+fi
+
 echo "All checks passed."

@@ -1,0 +1,151 @@
+//! Property tests for the mutation operators, run against the *real*
+//! workspace sources: every generated mutant must change the code,
+//! revert to byte-identical source, and carry an ID that is stable
+//! across generation runs. A proptest pass replays the same guarantees
+//! over randomized synthetic sources assembled from protocol-shaped
+//! line templates, so the invariants hold beyond today's tree.
+
+use std::path::Path;
+
+use proptest::prelude::*;
+use vrcache_mutate::{find_root, generate, load_targets, smoke_subset, Mutant};
+
+fn workspace_mutants() -> (Vec<(String, String)>, Vec<Mutant>) {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let targets = load_targets(&root).expect("read target files");
+    let refs: Vec<(&str, &str)> = targets
+        .iter()
+        .map(|(p, t)| (p.as_str(), t.as_str()))
+        .collect();
+    let mutants = generate(&refs);
+    (targets, mutants)
+}
+
+#[test]
+fn every_mutant_differs_and_round_trips() {
+    let (targets, mutants) = workspace_mutants();
+    assert!(
+        mutants.len() >= 60,
+        "the full sweep must generate at least 60 mutants, got {}",
+        mutants.len()
+    );
+    for m in &mutants {
+        let (_, source) = targets
+            .iter()
+            .find(|(p, _)| *p == m.file)
+            .expect("mutant targets a loaded file");
+        let mutated = m
+            .apply(source)
+            .unwrap_or_else(|e| panic!("{}: apply failed: {e}", m.id));
+        assert_ne!(mutated, *source, "{}: mutant must change the source", m.id);
+        let reverted = m
+            .revert(&mutated)
+            .unwrap_or_else(|e| panic!("{}: revert failed: {e}", m.id));
+        assert_eq!(reverted, *source, "{}: revert must be byte-identical", m.id);
+    }
+}
+
+#[test]
+fn ids_are_stable_and_unique_across_runs() {
+    let (targets, first) = workspace_mutants();
+    let refs: Vec<(&str, &str)> = targets
+        .iter()
+        .map(|(p, t)| (p.as_str(), t.as_str()))
+        .collect();
+    let second = generate(&refs);
+    assert_eq!(first, second, "generation must be a pure function");
+    let mut ids: Vec<_> = first.iter().map(|m| m.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), first.len(), "every mutant ID is unique");
+}
+
+#[test]
+fn smoke_subset_is_deterministic_and_spread() {
+    let (_, mutants) = workspace_mutants();
+    let a = smoke_subset(&mutants, 25);
+    let b = smoke_subset(&mutants, 25);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 25.min(mutants.len()));
+    // Round-robin selection must touch several target files, not drain
+    // the lexicographically first one.
+    let files: std::collections::BTreeSet<&str> = a.iter().map(|m| m.file.as_str()).collect();
+    assert!(files.len() > 1, "smoke subset covers one file only");
+}
+
+/// Protocol-shaped line templates: each index picks one line; proptest
+/// assembles a function body from them. Together they exercise every
+/// operator (comparisons, flag assignments, flag conditions, coherence
+/// arms live in the match template below, boundaries, early returns).
+const LINE_POOL: &[&str] = &[
+    "    let x = a == b;",
+    "    let y = a <= b;",
+    "    sub.inclusion = false;",
+    "    line.dirty = true;",
+    "    let w = ways - 1;",
+    "    for i in 0..n {}",
+    "    if sub.buffer {",
+    "        body();",
+    "    }",
+    "    let z = k + 1;",
+    "    meta.swapped = old.swapped;",
+];
+
+fn assemble(indices: &[u8]) -> String {
+    let mut out = String::from("fn synthetic(a: u32, b: u32) {\n");
+    let mut depth = 0u32;
+    for &i in indices {
+        let line = LINE_POOL[i as usize % LINE_POOL.len()];
+        // Keep braces balanced: only open a block when we can close it,
+        // only close when one is open.
+        match line {
+            "    if sub.buffer {" => {
+                out.push_str(line);
+                out.push('\n');
+                depth += 1;
+            }
+            "    }" => {
+                if depth > 0 {
+                    out.push_str(line);
+                    out.push('\n');
+                    depth -= 1;
+                }
+            }
+            _ => {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    for _ in 0..depth {
+        out.push_str("    }\n");
+    }
+    out.push_str("    match op {\n");
+    out.push_str("        BusOp::ReadMiss => read(a),\n");
+    out.push_str("        BusOp::Invalidate => inval(b),\n");
+    out.push_str("    }\n");
+    out.push_str("}\n");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn synthetic_sources_uphold_the_operator_contract(
+        indices in proptest::collection::vec(any::<u8>(), 0..24)
+    ) {
+        let source = assemble(&indices);
+        let path = "crates/core/src/vr.rs";
+        let mutants = generate(&[(path, source.as_str())]);
+        // The trailing coherence match alone guarantees arm mutants.
+        prop_assert!(!mutants.is_empty());
+        let again = generate(&[(path, source.as_str())]);
+        prop_assert_eq!(&mutants, &again, "IDs and order are stable");
+        for m in &mutants {
+            let mutated = m.apply(&source).expect("apply");
+            prop_assert_ne!(&mutated, &source, "mutant {} changed nothing", m.id);
+            let reverted = m.revert(&mutated).expect("revert");
+            prop_assert_eq!(&reverted, &source, "mutant {} does not round-trip", m.id);
+        }
+    }
+}
