@@ -1,8 +1,9 @@
 //! Workspace lint driver: `cargo run -p vrcache-analysis --bin lint`.
 //!
 //! Walks every tracked `.rs` source (plus DESIGN.md, the model
-//! checker's transition table, the mutation baseline, and the latest
-//! mutation report), runs the six lint passes, prints
+//! checker's transition table, the mutation and injection baselines,
+//! and the latest mutation and injection reports), runs the seven lint
+//! passes, prints
 //! `file:line: [lint] message` diagnostics, and exits non-zero if
 //! anything fired. `scripts/check.sh` runs this as part of the
 //! pre-merge gate.
@@ -99,7 +100,7 @@ fn main() -> ExitCode {
     }
     if diags.is_empty() {
         println!(
-            "lint: clean — {} files checked (determinism, address-hygiene, panic-hygiene, doc-drift, transition-coverage, mutation-baseline)",
+            "lint: clean — {} files checked (determinism, address-hygiene, panic-hygiene, doc-drift, transition-coverage, mutation-baseline, injection-baseline)",
             ws.sources.len()
         );
         ExitCode::SUCCESS

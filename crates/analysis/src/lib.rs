@@ -1,6 +1,6 @@
 //! Static analysis for the vrcache workspace.
 //!
-//! Six lints, run by `cargo run -p vrcache-analysis --bin lint`:
+//! Seven lints, run by `cargo run -p vrcache-analysis --bin lint`:
 //!
 //! * **determinism** — simulation results must be a pure function of the
 //!   seed. Wall-clock and entropy sources are forbidden everywhere, and
@@ -28,6 +28,11 @@
 //!   report (`target/mutation-report.txt`) may contain no survivor the
 //!   baseline doesn't allowlist and no allowlisted mutant that was in
 //!   fact killed.
+//! * **injection-baseline** — the pinned silent-data-corruption routes
+//!   (`crates/inject/baseline.txt`) must each carry a justification and
+//!   be parity-off; a fault-injection campaign's report
+//!   (`target/injection-report.txt`) may contain no `sdc` row the
+//!   baseline doesn't pin, and no parity-on `sdc` row at all.
 //!
 //! Every lint is a pure function over an in-memory [`Workspace`], so the
 //! crate's tests seed violations directly without touching the
@@ -79,6 +84,12 @@ pub struct Workspace {
     /// Contents of `target/mutation-report.txt` (the latest mutation
     /// run), if present.
     pub mutation_report: Option<String>,
+    /// Contents of `crates/inject/baseline.txt` (the pinned parity-off
+    /// silent-data-corruption routes), if present.
+    pub injection_baseline: Option<String>,
+    /// Contents of `target/injection-report.txt` (the latest
+    /// fault-injection campaign), if present.
+    pub injection_report: Option<String>,
 }
 
 impl Workspace {
@@ -128,6 +139,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(lints::doc_drift::check(ws));
     diags.extend(lints::transitions::check(ws));
     diags.extend(lints::mutation::check(ws));
+    diags.extend(lints::injection::check(ws));
     diags.sort();
     diags
 }

@@ -29,13 +29,13 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
 
 /// Loads every tracked `.rs` file under `root` (skipping [`SKIP_DIRS`])
 /// plus `DESIGN.md`, the model checker's transition-coverage table, the
-/// mutation baseline, and the latest mutation report, into an in-memory
-/// [`Workspace`].
+/// mutation and injection baselines, and the latest mutation and
+/// injection reports, into an in-memory [`Workspace`].
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors other than a missing optional document
-/// (`DESIGN.md`, coverage table, baseline, report).
+/// (`DESIGN.md`, coverage table, baselines, reports).
 pub fn load(root: &Path) -> io::Result<Workspace> {
     let mut sources = Vec::new();
     collect_rs(root, root, &mut sources)?;
@@ -44,12 +44,16 @@ pub fn load(root: &Path) -> io::Result<Workspace> {
     let model_coverage = fs::read_to_string(root.join("crates/model/coverage.txt")).ok();
     let mutation_baseline = fs::read_to_string(root.join("crates/mutate/baseline.txt")).ok();
     let mutation_report = fs::read_to_string(root.join("target/mutation-report.txt")).ok();
+    let injection_baseline = fs::read_to_string(root.join("crates/inject/baseline.txt")).ok();
+    let injection_report = fs::read_to_string(root.join("target/injection-report.txt")).ok();
     Ok(Workspace {
         sources,
         design_md,
         model_coverage,
         mutation_baseline,
         mutation_report,
+        injection_baseline,
+        injection_report,
     })
 }
 

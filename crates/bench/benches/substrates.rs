@@ -70,7 +70,7 @@ fn bench_write_buffer(c: &mut Criterion) {
 }
 
 fn bench_zipf(c: &mut Criterion) {
-    let z = Zipf::new(4096, 0.9);
+    let z = Zipf::new(4096, 0.9).expect("valid zipf parameters");
     let mut rng = StdRng::seed_from_u64(3);
     c.bench_function("zipf_sample_4096", |b| {
         b.iter(|| black_box(z.sample(&mut rng)));

@@ -17,7 +17,9 @@
 //!   fresh version; every processor read asserts it observes the newest
 //!   version of the block. Under an invalidation protocol any valid cached
 //!   copy must be the newest, so a violation pinpoints a protocol bug,
-//! * [`stats`] — bus traffic counters.
+//! * [`stats`] — bus traffic counters,
+//! * [`retry`] — bounded-retry policy and NACK accounting for faulted
+//!   transactions (exercised by the `vrcache-inject` campaigns).
 //!
 //! The actual snoop *orchestration* (walking the other CPUs' hierarchies)
 //! lives in `vrcache-sim`, because it needs simultaneous mutable access to
@@ -25,10 +27,12 @@
 
 pub mod memory;
 pub mod oracle;
+pub mod retry;
 pub mod stats;
 pub mod txn;
 
 pub use memory::MainMemory;
 pub use oracle::{CoherenceViolation, Version, VersionOracle};
+pub use retry::{NackStats, RetryPolicy};
 pub use stats::BusStats;
 pub use txn::{BusOp, BusTransaction, SnoopOutcome};

@@ -1,0 +1,116 @@
+//! Bounded-retry bookkeeping for faulted bus transactions.
+//!
+//! A real shared bus detects malformed or lost transactions (parity on
+//! the command/address lines, a missing acknowledge within the bus
+//! timeout) and answers with a **NACK**; the issuer then re-arbitrates
+//! and retries, up to a bounded number of attempts before escalating to
+//! a machine check. This module provides the policy and the counters;
+//! the retry *orchestration* lives with the bus driver (the
+//! fault-injection harness in `vrcache-inject`), consistent with this
+//! crate staying data-only.
+
+use serde::{Deserialize, Serialize};
+
+/// How many times a NACKed transaction is retried before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// A policy allowing up to `max_retries` retries after the first
+    /// (NACKed) attempt. `bounded(0)` never retries.
+    pub const fn bounded(max_retries: u32) -> Self {
+        RetryPolicy { max_retries }
+    }
+
+    /// The retry bound.
+    pub const fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Whether a transaction that has already been retried `retries`
+    /// times may be retried once more.
+    pub const fn allows(&self, retries: u32) -> bool {
+        retries < self.max_retries
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three retries — generous for the transient (single-shot) faults
+    /// the injection campaigns model, while still bounding a stuck bus.
+    fn default() -> Self {
+        RetryPolicy::bounded(3)
+    }
+}
+
+/// Counters for NACKed and retried bus transactions.
+///
+/// A nonzero `nacks` count is a *detection event*: the fault-injection
+/// campaign classifier treats any run with NACKs as having noticed the
+/// injected fault (detected-recovered if the run then completes
+/// cleanly, detected-fatal if it does not).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NackStats {
+    /// Transactions answered with a NACK.
+    pub nacks: u64,
+    /// Retries issued after a NACK.
+    pub retries: u64,
+    /// Transactions abandoned after exhausting the retry bound (each is
+    /// a bus-level machine check).
+    pub exhausted: u64,
+}
+
+impl NackStats {
+    /// Records one NACK-then-retry round trip under `policy`: counts the
+    /// NACK, then either counts a retry and returns `true`, or counts an
+    /// exhaustion and returns `false`.
+    pub fn nack_and_retry(&mut self, policy: RetryPolicy, retries_so_far: u32) -> bool {
+        self.nacks += 1;
+        if policy.allows(retries_so_far) {
+            self.retries += 1;
+            true
+        } else {
+            self.exhausted += 1;
+            false
+        }
+    }
+
+    /// Whether any fault was detected at the bus level.
+    pub fn detected_any(&self) -> bool {
+        self.nacks > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_bounds_retries() {
+        let p = RetryPolicy::bounded(2);
+        assert!(p.allows(0));
+        assert!(p.allows(1));
+        assert!(!p.allows(2));
+        assert_eq!(RetryPolicy::default().max_retries(), 3);
+        assert!(!RetryPolicy::bounded(0).allows(0));
+    }
+
+    #[test]
+    fn nack_accounting_rounds() {
+        let p = RetryPolicy::bounded(1);
+        let mut s = NackStats::default();
+        assert!(!s.detected_any());
+        assert!(s.nack_and_retry(p, 0), "first retry allowed");
+        assert!(!s.nack_and_retry(p, 1), "second exhausts the bound");
+        assert_eq!(
+            s,
+            NackStats {
+                nacks: 2,
+                retries: 1,
+                exhausted: 1,
+            }
+        );
+        assert!(s.detected_any());
+    }
+}

@@ -131,6 +131,17 @@ pub struct HierarchyConfig {
     ///
     /// [`with_sampled_runtime_checks`]: HierarchyConfig::with_sampled_runtime_checks
     pub runtime_checks: Option<NonZeroU64>,
+    /// Model parity protection on the V/R tag+state arrays and TLB
+    /// entries. With parity on, a fault injected through
+    /// [`FaultPort`](crate::fault::FaultPort) is *detected* at the next
+    /// hierarchy operation and recovered: a clean parity miss is treated
+    /// as a cache miss and refetched
+    /// ([`parity_refetches`](crate::events::HierarchyEvents::parity_refetches)),
+    /// while corruption of dirty data or of linking metadata degrades
+    /// gracefully to an invalidate-children machine check
+    /// ([`parity_machine_checks`](crate::events::HierarchyEvents::parity_machine_checks)).
+    /// With parity off (the default), injected faults propagate silently.
+    pub parity: bool,
 }
 
 impl HierarchyConfig {
@@ -171,6 +182,7 @@ impl HierarchyConfig {
             context_switch_policy: ContextSwitchPolicy::default(),
             protocol: CoherenceProtocol::default(),
             runtime_checks: None,
+            parity: false,
         })
     }
 
@@ -270,6 +282,14 @@ impl HierarchyConfig {
     #[must_use]
     pub fn with_sampled_runtime_checks(mut self, period: u64) -> Self {
         self.runtime_checks = NonZeroU64::new(period.max(1));
+        self
+    }
+
+    /// Arms modeled parity detection and recovery on the tag/state
+    /// arrays and the TLB (see [`HierarchyConfig::parity`]).
+    #[must_use]
+    pub fn with_parity(mut self) -> Self {
+        self.parity = true;
         self
     }
 

@@ -68,6 +68,18 @@ pub struct HierarchyEvents {
     /// Second-level TLB misses observed on the V-miss path.
     pub tlb_misses: u64,
 
+    // ---- parity detection and recovery ----
+    /// Parity-detected faults recovered by treat-as-miss: the corrupted
+    /// (clean) state was discarded and will simply be refetched. Not
+    /// part of [`l1_coherence_messages`](Self::l1_coherence_messages) —
+    /// these are fault-recovery actions, not protocol traffic.
+    pub parity_refetches: u64,
+    /// Parity-detected faults on dirty data or linking metadata that
+    /// degraded to an invalidate-children machine check: the hierarchy
+    /// stays structurally sound but modified data may have been lost, so
+    /// the run must be declared failed (loudly, never silently).
+    pub parity_machine_checks: u64,
+
     // ---- ablation counters ----
     /// Dirty lines written back *at switch time* under the eager-flush
     /// ablation (zero under the paper's swapped-valid scheme).

@@ -1,0 +1,251 @@
+//! The fault model: deterministic single-fault corruption of live
+//! hierarchy state.
+//!
+//! The paper's correctness story hangs on small pieces of linking
+//! metadata — the V-cache *r-pointers*, the R-cache subentry
+//! *inclusion*/*buffer*/*vdirty* bits and *v-pointers* — whose silent
+//! corruption breaks synonym resolution and the R-cache's shielding of
+//! the first level. This module enumerates the ways that state can rot
+//! ([`FaultKind`]) and defines the [`FaultPort`] trait through which the
+//! `vrcache-inject` campaign runner corrupts a live hierarchy at a
+//! deterministic `(seed, access-index)` point.
+//!
+//! Detection is modeled parity ([`HierarchyConfig::parity`]): every
+//! tag/state array and the TLB carry parity, so a hardware fault leaves
+//! a *syndrome* identifying which structure faulted. The model keeps
+//! that syndrome as a poison record attached to the corrupted entry's
+//! lookup key; each hierarchy *scrubs* its poison at the entry of every
+//! public operation (access, context switch, TLB shootdown, snoop) —
+//! before any lookup can consume corrupted state, exactly as a parity
+//! check fires on the array read itself. Recovery is typed:
+//!
+//! * **clean parity miss** — the corrupted state duplicated something
+//!   recoverable; discard it and let the normal miss path refetch
+//!   ([`HierarchyEvents::parity_refetches`]);
+//! * **dirty or pointer-metadata parity miss** — modified data or
+//!   linkage may be lost; conservatively invalidate the affected lines
+//!   and their children and raise a machine check
+//!   ([`HierarchyEvents::parity_machine_checks`]). The hierarchy stays
+//!   structurally sound but the run is declared failed — loudly, never
+//!   silently.
+//!
+//! Bus-level kinds ([`FaultKind::is_bus_level`]) are not injected
+//! through the port — they corrupt transactions in flight, so the
+//! campaign harness arms them at its faulty-bus wrapper, recovering via
+//! bounded retry with NACK accounting
+//! ([`vrcache_bus::retry`](vrcache_bus::retry)).
+//!
+//! [`HierarchyConfig::parity`]: crate::config::HierarchyConfig::parity
+//! [`HierarchyEvents::parity_refetches`]: crate::events::HierarchyEvents::parity_refetches
+//! [`HierarchyEvents::parity_machine_checks`]: crate::events::HierarchyEvents::parity_machine_checks
+
+use core::fmt;
+
+use vrcache_cache::geometry::BlockId;
+use vrcache_mem::addr::{Asid, Vpn};
+
+use crate::rcache::ChildCache;
+
+/// One kind of single-point corruption of live hierarchy state.
+///
+/// The first ten target a specific structure and are injected through
+/// [`FaultPort::inject_fault`]; the last three corrupt bus transactions
+/// in flight and are armed at the campaign harness's bus wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Flip a tag bit of a V-cache (or physical L1) line: the line now
+    /// answers for the wrong address.
+    VTagFlip,
+    /// Flip a V-cache line's dirty bit.
+    VStateFlip,
+    /// Corrupt a V-cache line's *r-pointer* (the physical block id
+    /// linking it to its R-cache parent).
+    RPointerFlip,
+    /// Flip an R-cache subentry's *inclusion* bit.
+    RInclusionFlip,
+    /// Flip an R-cache subentry's *buffer* bit.
+    RBufferFlip,
+    /// Flip an R-cache subentry's *vdirty* bit.
+    RVdirtyFlip,
+    /// Corrupt an R-cache subentry's *v-pointer* (the virtual block id
+    /// locating its V-cache child).
+    VPointerFlip,
+    /// Flip a cached block's coherence state (shared ↔ private).
+    CohStateFlip,
+    /// Corrupt a TLB entry's translation.
+    TlbEntryFlip,
+    /// Drop one pending entry from the write-back buffer.
+    WriteBufferDrop,
+    /// Drop a bus transaction: the issuer sees a fabricated empty
+    /// response and no other agent observes the request.
+    BusDropTxn,
+    /// Issue a bus transaction twice.
+    BusDuplicateTxn,
+    /// Deliver an invalidation to the bus but not to the snoopers.
+    BusLostInvalidate,
+}
+
+impl FaultKind {
+    /// Every fault kind, in report-label order.
+    pub const ALL: [FaultKind; 13] = [
+        FaultKind::VTagFlip,
+        FaultKind::VStateFlip,
+        FaultKind::RPointerFlip,
+        FaultKind::RInclusionFlip,
+        FaultKind::RBufferFlip,
+        FaultKind::RVdirtyFlip,
+        FaultKind::VPointerFlip,
+        FaultKind::CohStateFlip,
+        FaultKind::TlbEntryFlip,
+        FaultKind::WriteBufferDrop,
+        FaultKind::BusDropTxn,
+        FaultKind::BusDuplicateTxn,
+        FaultKind::BusLostInvalidate,
+    ];
+
+    /// Whether this kind corrupts a transaction in flight rather than
+    /// resident state (armed at the bus wrapper, not the port).
+    pub const fn is_bus_level(self) -> bool {
+        matches!(
+            self,
+            FaultKind::BusDropTxn | FaultKind::BusDuplicateTxn | FaultKind::BusLostInvalidate
+        )
+    }
+
+    /// Stable report label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            FaultKind::VTagFlip => "v-tag-flip",
+            FaultKind::VStateFlip => "v-state-flip",
+            FaultKind::RPointerFlip => "r-pointer-flip",
+            FaultKind::RInclusionFlip => "r-inclusion-flip",
+            FaultKind::RBufferFlip => "r-buffer-flip",
+            FaultKind::RVdirtyFlip => "r-vdirty-flip",
+            FaultKind::VPointerFlip => "v-pointer-flip",
+            FaultKind::CohStateFlip => "coh-state-flip",
+            FaultKind::TlbEntryFlip => "tlb-entry-flip",
+            FaultKind::WriteBufferDrop => "write-buffer-drop",
+            FaultKind::BusDropTxn => "bus-drop-txn",
+            FaultKind::BusDuplicateTxn => "bus-duplicate-txn",
+            FaultKind::BusLostInvalidate => "bus-lost-invalidate",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a successful injection corrupted, for deterministic reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The kind applied.
+    pub kind: FaultKind,
+    /// Human-readable description of the corrupted target (block ids,
+    /// bit values) — stable across runs for a fixed seed.
+    pub detail: String,
+}
+
+/// Fault-injection port implemented by every hierarchy.
+///
+/// An injection happens *between* accesses: the campaign harness runs
+/// the workload up to a chosen access index, calls
+/// [`inject_fault`](Self::inject_fault) once, and resumes. Target
+/// selection within the structure is a pure function of `seed` and the
+/// hierarchy's deterministic iteration order, never of hash-map order
+/// or ambient entropy.
+pub trait FaultPort {
+    /// Applies `kind` to this hierarchy's state, returning what was
+    /// corrupted, or `None` when no applicable target exists (e.g. an
+    /// empty write buffer for [`FaultKind::WriteBufferDrop`], or a
+    /// bus-level kind, which the port never handles).
+    ///
+    /// With [`parity`](crate::config::HierarchyConfig::parity) enabled
+    /// the corruption also records a poison syndrome that the hierarchy
+    /// scrubs — detects and recovers — at its next public operation.
+    fn inject_fault(&mut self, kind: FaultKind, seed: u64) -> Option<FaultRecord>;
+}
+
+/// A modeled parity syndrome: which entry of which structure faulted.
+///
+/// Keys are post-corruption lookup keys — parity identifies the faulted
+/// array entry, not the pre-fault value, so recovery must work from the
+/// corrupted key plus whatever metadata the entry still holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Poison {
+    /// A first-level line (V-cache or physical L1).
+    L1Line {
+        /// The corruption applied.
+        kind: FaultKind,
+        /// Which first-level front holds the line.
+        child: ChildCache,
+        /// The line's (post-corruption) lookup key.
+        key: BlockId,
+    },
+    /// An R-cache / L2 line.
+    L2Line {
+        /// The corruption applied.
+        kind: FaultKind,
+        /// The line's physical block id.
+        p2: BlockId,
+    },
+    /// A TLB entry.
+    TlbEntry {
+        /// Address space of the corrupted translation.
+        asid: Asid,
+        /// Virtual page of the corrupted translation.
+        vpn: Vpn,
+    },
+    /// A dropped write-buffer entry (the granule that vanished).
+    WbEntry {
+        /// First-level block id of the lost pending write.
+        p1: BlockId,
+    },
+}
+
+/// Flips the lowest tag bit of `key` for a cache with `set_bits`
+/// index bits: the result maps to the same set under a different tag.
+pub(crate) fn flip_tag_bit(key: BlockId, set_bits: u32) -> BlockId {
+    BlockId::new(key.raw() ^ (1u64 << set_bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_unique_labels() {
+        let mut labels: Vec<&str> = FaultKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn bus_level_kinds_are_exactly_the_bus_ones() {
+        let bus: Vec<FaultKind> = FaultKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| k.is_bus_level())
+            .collect();
+        assert_eq!(
+            bus,
+            vec![
+                FaultKind::BusDropTxn,
+                FaultKind::BusDuplicateTxn,
+                FaultKind::BusLostInvalidate,
+            ]
+        );
+    }
+
+    #[test]
+    fn tag_flip_preserves_the_set() {
+        let g = vrcache_cache::geometry::CacheGeometry::direct_mapped(256, 16).unwrap();
+        let b = BlockId::new(0x37);
+        let f = flip_tag_bit(b, g.set_bits());
+        assert_ne!(f, b);
+        assert_eq!(g.set_of(f), g.set_of(b));
+    }
+}

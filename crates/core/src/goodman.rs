@@ -38,6 +38,7 @@ use vrcache_trace::record::MemAccess;
 use crate::bus_api::{BusRequest, SnoopReply, SystemBus};
 use crate::config::HierarchyConfig;
 use crate::events::HierarchyEvents;
+use crate::fault::{self, FaultKind, FaultPort, FaultRecord, Poison};
 use crate::hierarchy::{AccessOutcome, BlockPresence, CacheHierarchy, SynonymKind};
 use crate::invariant::{InvariantExpect, InvariantViolation};
 use crate::vcache::{VCache, VMeta};
@@ -63,6 +64,10 @@ pub struct GoodmanHierarchy {
     private: HashMap<BlockId, bool>,
     refs: u64,
     last_wb_at: Option<u64>,
+    /// Modeled parity on the dual tag stores and the TLB.
+    parity: bool,
+    /// Outstanding parity syndromes, scrubbed at the next operation.
+    poison: Vec<Poison>,
 }
 
 impl GoodmanHierarchy {
@@ -107,6 +112,8 @@ impl GoodmanHierarchy {
             private: HashMap::new(),
             refs: 0,
             last_wb_at: None,
+            parity: cfg.parity,
+            poison: Vec::new(),
         }
     }
 
@@ -173,6 +180,189 @@ impl GoodmanHierarchy {
     }
 }
 
+// ---- modeled parity: fault injection, detection and recovery ----
+impl GoodmanHierarchy {
+    /// Detects and recovers outstanding parity syndromes at the entry of
+    /// every public operation (no-op when parity is off).
+    fn scrub_poison(&mut self) {
+        if self.poison.is_empty() {
+            return;
+        }
+        let poisons = std::mem::take(&mut self.poison);
+        for p in poisons {
+            match p {
+                Poison::L1Line { kind, key, .. } => self.scrub_line(kind, key),
+                Poison::L2Line { p2: granule, .. } => {
+                    // The real directory's state bit faulted: demoting to
+                    // shared is always safe (the next write re-arbitrates
+                    // for exclusivity over the bus).
+                    if self.reverse.contains_key(&granule) {
+                        self.private.insert(granule, false);
+                    }
+                    self.events.parity_refetches += 1;
+                }
+                Poison::TlbEntry { asid, vpn } => {
+                    self.tlb.flush_asid_vpn(asid, vpn);
+                    self.events.parity_refetches += 1;
+                }
+                // There is no write buffer in the single-level scheme, so
+                // no injection ever records this syndrome.
+                Poison::WbEntry { .. } => {}
+            }
+        }
+    }
+
+    /// Recovers a poisoned cache line: both tag stores must agree, so the
+    /// line and its real-directory entry are discarded together.
+    fn scrub_line(&mut self, kind: FaultKind, key: BlockId) {
+        let Some(line) = self.l1.invalidate(key) else {
+            self.events.parity_refetches += 1;
+            return;
+        };
+        self.reverse.remove(&line.meta.p_block);
+        self.private.remove(&line.meta.p_block);
+        if kind == FaultKind::VTagFlip && !line.meta.dirty {
+            self.events.parity_refetches += 1;
+        } else {
+            self.events.parity_machine_checks += 1;
+        }
+    }
+
+    fn record_poison(&mut self, poison: Poison) {
+        if self.parity {
+            self.poison.push(poison);
+        }
+    }
+
+    /// Deterministically picks the `seed`-th resident line. Selection
+    /// never iterates the hash maps (their order is not deterministic);
+    /// everything derives from the cache array's iteration order.
+    fn pick_line(&self, seed: u64) -> Option<(BlockId, VMeta)> {
+        let lines: Vec<(BlockId, VMeta)> = self.l1.iter().map(|l| (l.block, l.meta)).collect();
+        if lines.is_empty() {
+            return None;
+        }
+        Some(lines[(seed % lines.len() as u64) as usize])
+    }
+
+    fn inject_v_tag_flip(&mut self, seed: u64) -> Option<FaultRecord> {
+        let lines: Vec<(BlockId, VMeta)> = self.l1.iter().map(|l| (l.block, l.meta)).collect();
+        if lines.is_empty() {
+            return None;
+        }
+        let n = lines.len() as u64;
+        let set_bits = self.l1.geometry().set_bits();
+        for off in 0..n {
+            let (key, meta) = lines[((seed + off) % n) as usize];
+            let flipped = fault::flip_tag_bit(key, set_bits);
+            if self.l1.peek(flipped).is_some() {
+                continue;
+            }
+            let line = self.l1.invalidate(key)?;
+            let out = self.l1.fill(flipped, line.meta);
+            debug_assert!(out.evicted.is_none(), "same set, freed way");
+            // The real directory still names the old virtual block — the
+            // dangling pointer *is* the injected corruption.
+            self.record_poison(Poison::L1Line {
+                kind: FaultKind::VTagFlip,
+                child: crate::rcache::ChildCache::Data,
+                key: flipped,
+            });
+            return Some(FaultRecord {
+                kind: FaultKind::VTagFlip,
+                detail: format!("line {key} retagged {flipped} dirty={}", meta.dirty),
+            });
+        }
+        None
+    }
+}
+
+impl FaultPort for GoodmanHierarchy {
+    fn inject_fault(&mut self, kind: FaultKind, seed: u64) -> Option<FaultRecord> {
+        match kind {
+            FaultKind::VTagFlip => self.inject_v_tag_flip(seed),
+            FaultKind::VStateFlip => {
+                let (key, meta) = self.pick_line(seed)?;
+                let line = self.l1.peek_mut(key)?;
+                line.meta.dirty = !line.meta.dirty;
+                self.record_poison(Poison::L1Line {
+                    kind,
+                    child: crate::rcache::ChildCache::Data,
+                    key,
+                });
+                Some(FaultRecord {
+                    kind,
+                    detail: format!("line {key} dirty {} -> {}", meta.dirty, !meta.dirty),
+                })
+            }
+            FaultKind::RPointerFlip => {
+                // The real directory entry (physical tag) faults: it now
+                // points at a virtual block that holds no such line.
+                let (key, meta) = self.pick_line(seed)?;
+                let set_bits = self.l1.geometry().set_bits();
+                let wrong = fault::flip_tag_bit(key, set_bits);
+                self.reverse.insert(meta.p_block, wrong);
+                // Parity on the physical tag store names the entry; the
+                // line it should point at is recovered through it.
+                self.record_poison(Poison::L1Line {
+                    kind,
+                    child: crate::rcache::ChildCache::Data,
+                    key,
+                });
+                Some(FaultRecord {
+                    kind,
+                    detail: format!("real directory {} -> {wrong} (was {key})", meta.p_block),
+                })
+            }
+            FaultKind::CohStateFlip => {
+                // Prefer granting bogus exclusivity (shared -> private):
+                // the demotion direction only costs a redundant upgrade.
+                let shared: Vec<(BlockId, VMeta)> = self
+                    .l1
+                    .iter()
+                    .filter(|l| !self.private.get(&l.meta.p_block).copied().unwrap_or(false))
+                    .map(|l| (l.block, l.meta))
+                    .collect();
+                let (key, meta) = if shared.is_empty() {
+                    self.pick_line(seed)?
+                } else {
+                    shared[(seed % shared.len() as u64) as usize]
+                };
+                let old = self.private.get(&meta.p_block).copied().unwrap_or(false);
+                self.private.insert(meta.p_block, !old);
+                self.record_poison(Poison::L2Line {
+                    kind,
+                    p2: meta.p_block,
+                });
+                Some(FaultRecord {
+                    kind,
+                    detail: format!(
+                        "line {key} granule {} private {old} -> {}",
+                        meta.p_block, !old
+                    ),
+                })
+            }
+            FaultKind::TlbEntryFlip => {
+                let (asid, vpn) = self.tlb.corrupt_entry(seed)?;
+                self.record_poison(Poison::TlbEntry { asid, vpn });
+                Some(FaultRecord {
+                    kind,
+                    detail: format!("tlb asid {} vpn {:#x}", asid.raw(), vpn.raw()),
+                })
+            }
+            // No second level, no subentries, no write buffer.
+            FaultKind::RInclusionFlip
+            | FaultKind::RBufferFlip
+            | FaultKind::RVdirtyFlip
+            | FaultKind::VPointerFlip
+            | FaultKind::WriteBufferDrop
+            | FaultKind::BusDropTxn
+            | FaultKind::BusDuplicateTxn
+            | FaultKind::BusLostInvalidate => None,
+        }
+    }
+}
+
 impl CacheHierarchy for GoodmanHierarchy {
     fn access(
         &mut self,
@@ -181,6 +371,7 @@ impl CacheHierarchy for GoodmanHierarchy {
         oracle: &mut VersionOracle,
     ) -> Result<AccessOutcome, CoherenceViolation> {
         debug_assert_eq!(access.cpu, self.cpu);
+        self.scrub_poison();
         self.refs += 1;
         let vblock = self.granule_geo.block_of(access.vaddr.raw());
         let p1 = self.granule_geo.block_of(access.paddr.raw());
@@ -309,11 +500,13 @@ impl CacheHierarchy for GoodmanHierarchy {
     }
 
     fn context_switch(&mut self, _from: Asid, _to: Asid) {
+        self.scrub_poison();
         self.events.context_switches += 1;
         self.events.lines_swapped += self.l1.mark_all_swapped();
     }
 
     fn tlb_shootdown(&mut self, asid: Asid, vpn: Vpn, bus: &mut dyn SystemBus) -> u32 {
+        self.scrub_poison();
         self.tlb.flush_asid_vpn(asid, vpn);
         // Without a second level, the shot-down page's dirty lines must be
         // written back to memory over the bus.
@@ -332,6 +525,7 @@ impl CacheHierarchy for GoodmanHierarchy {
 
     fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {
         debug_assert_ne!(txn.source, self.cpu);
+        self.scrub_poison();
         let mut reply = SnoopReply::default();
         if txn.op == BusOp::WriteBack {
             return reply;
@@ -662,5 +856,84 @@ mod tests {
         assert_eq!(r.h.events().lines_swapped, 1);
         let out = r.go(AccessKind::DataRead, 0x1000, 0x9000);
         assert!(!out.l1_hit, "swapped lines invisible");
+    }
+
+    // ---- fault injection, parity detection and recovery ----
+
+    fn parity_rig() -> Rig {
+        Rig {
+            h: GoodmanHierarchy::new(CpuId::new(0), &cfg().with_parity()),
+            bus: LoopbackBus::new(),
+            oracle: VersionOracle::new(),
+        }
+    }
+
+    fn warm(r: &mut Rig) {
+        for i in 0..6u64 {
+            r.go(AccessKind::DataRead, 0x1000 + i * 0x10, 0x9000 + i * 0x10);
+        }
+    }
+
+    #[test]
+    fn clean_tag_flip_refetches_and_directory_stays_bijective() {
+        let mut r = parity_rig();
+        warm(&mut r);
+        let rec = r.h.inject_fault(FaultKind::VTagFlip, 1).expect("target");
+        assert_eq!(rec.kind, FaultKind::VTagFlip);
+        r.go(AccessKind::DataRead, 0x1080, 0x9080);
+        assert_eq!(r.h.events().parity_refetches, 1);
+        r.h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn real_directory_pointer_flip_machine_checks() {
+        let mut r = parity_rig();
+        warm(&mut r);
+        r.h.inject_fault(FaultKind::RPointerFlip, 2)
+            .expect("target");
+        r.go(AccessKind::DataRead, 0x1080, 0x9080);
+        assert_eq!(r.h.events().parity_machine_checks, 1);
+        r.h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn coh_state_flip_demotes_to_shared() {
+        let mut r = parity_rig();
+        r.go(AccessKind::DataWrite, 0x1000, 0x9000);
+        let g = cfg().l1.block_of(0x9000);
+        assert!(r.h.granule_private(g));
+        r.h.inject_fault(FaultKind::CohStateFlip, 0)
+            .expect("target");
+        r.go(AccessKind::DataRead, 0x1080, 0x9080);
+        assert_eq!(r.h.events().parity_refetches, 1);
+        assert!(!r.h.granule_private(g), "recovery demotes to shared");
+        r.h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tlb_flip_recovers_by_rewalk() {
+        let mut r = parity_rig();
+        warm(&mut r);
+        r.h.inject_fault(FaultKind::TlbEntryFlip, 0)
+            .expect("target");
+        r.go(AccessKind::DataRead, 0x1080, 0x9080);
+        assert_eq!(r.h.events().parity_refetches, 1);
+        r.h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn structure_less_kinds_have_no_target() {
+        let mut r = parity_rig();
+        warm(&mut r);
+        for kind in [
+            FaultKind::RInclusionFlip,
+            FaultKind::RBufferFlip,
+            FaultKind::RVdirtyFlip,
+            FaultKind::VPointerFlip,
+            FaultKind::WriteBufferDrop,
+            FaultKind::BusDropTxn,
+        ] {
+            assert!(r.h.inject_fault(kind, 0).is_none(), "{kind}");
+        }
     }
 }

@@ -691,6 +691,75 @@ mod tests {
         assert_eq!(h.invariant_checks(), 3);
     }
 
+    // Direct sampling-behavior tests of the checker itself: a healthy
+    // (empty-but-valid) view, driven `n` times, must be verified exactly
+    // on every period-th call and never otherwise.
+
+    #[test]
+    fn checker_samples_exactly_every_period() {
+        let (mut h, _, _) = rig();
+        let (v, r, wb) = h.corrupt_parts();
+        let view = HierarchyView {
+            data: v,
+            instr: None,
+            l2: r,
+            wb,
+        };
+        for (period, ops, expected) in [(1u64, 10u64, 10u64), (3, 10, 3), (4, 8, 2), (7, 6, 0)] {
+            let mut checker = InvariantChecker::new(NonZeroU64::new(period));
+            assert!(checker.enabled());
+            for n in 1..=ops {
+                checker.verify(&view, "test");
+                assert_eq!(
+                    checker.checks(),
+                    n / period,
+                    "period {period}: after {n} ops"
+                );
+            }
+            assert_eq!(checker.checks(), expected, "period {period}");
+        }
+    }
+
+    #[test]
+    fn disarmed_checker_never_verifies() {
+        let (mut h, _, _) = rig();
+        let (v, r, wb) = h.corrupt_parts();
+        let view = HierarchyView {
+            data: v,
+            instr: None,
+            l2: r,
+            wb,
+        };
+        let mut checker = InvariantChecker::new(None);
+        assert!(!checker.enabled());
+        for _ in 0..100 {
+            checker.verify(&view, "test");
+        }
+        assert_eq!(checker.checks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hierarchy invariant violated after test")]
+    fn sampling_checker_skips_then_catches_corruption() {
+        let (mut h, mut bus, mut oracle) = rig();
+        read(&mut h, &mut bus, &mut oracle, 0x1000, 0x9000);
+        let (v, r, wb) = h.corrupt_parts();
+        r.peek_mut(BlockId::new(0x900)).unwrap().meta.subs[0].inclusion = false;
+        let view = HierarchyView {
+            data: v,
+            instr: None,
+            l2: r,
+            wb,
+        };
+        let mut checker = InvariantChecker::new(NonZeroU64::new(3));
+        // Ops 1 and 2 fall between samples: the corruption goes unseen.
+        checker.verify(&view, "test");
+        checker.verify(&view, "test");
+        assert_eq!(checker.checks(), 0, "no sample before the period elapses");
+        // The third op is the sampled one and must panic.
+        checker.verify(&view, "test");
+    }
+
     #[test]
     fn violations_render_and_compose() {
         let v = InvariantViolation::DuplicateVCopy {

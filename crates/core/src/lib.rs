@@ -64,6 +64,7 @@
 pub mod bus_api;
 pub mod config;
 pub mod events;
+pub mod fault;
 pub mod goodman;
 pub mod hierarchy;
 pub mod inclusion;

@@ -32,6 +32,7 @@ use vrcache_trace::record::MemAccess;
 use crate::bus_api::{BusRequest, SnoopReply, SystemBus};
 use crate::config::{HierarchyConfig, L1Organization};
 use crate::events::HierarchyEvents;
+use crate::fault::{self, FaultKind, FaultPort, FaultRecord, Poison};
 use crate::hierarchy::{AccessOutcome, CacheHierarchy};
 use crate::invariant::{InvariantExpect, InvariantViolation};
 use crate::rcache::{ChildCache, CohState, RCache, RMeta};
@@ -73,6 +74,10 @@ pub struct RrHierarchy {
     drain_period: u64,
     refs: u64,
     last_wb_at: Option<u64>,
+    /// Modeled parity on the tag/state arrays and the TLB.
+    parity: bool,
+    /// Outstanding parity syndromes, scrubbed at the next operation.
+    poison: Vec<Poison>,
 }
 
 impl RrHierarchy {
@@ -113,6 +118,8 @@ impl RrHierarchy {
             drain_period: cfg.wb_drain_period.max(1),
             refs: 0,
             last_wb_at: None,
+            parity: cfg.parity,
+            poison: Vec::new(),
         }
     }
 
@@ -427,6 +434,274 @@ impl RrHierarchy {
     }
 }
 
+// ---- modeled parity: fault injection, detection and recovery ----
+impl RrHierarchy {
+    /// Detects and recovers outstanding parity syndromes at the entry of
+    /// every public operation (no-op when parity is off — the list stays
+    /// empty).
+    fn scrub_poison(&mut self) {
+        if self.poison.is_empty() {
+            return;
+        }
+        let poisons = std::mem::take(&mut self.poison);
+        for p in poisons {
+            match p {
+                Poison::L1Line { kind, key, .. } => self.scrub_l1_line(kind, key),
+                Poison::L2Line { kind, p2 } => self.scrub_l2_line(kind, p2),
+                Poison::TlbEntry { asid, vpn } => {
+                    self.tlb.flush_asid_vpn(asid, vpn);
+                    self.events.parity_refetches += 1;
+                }
+                Poison::WbEntry { p1 } => {
+                    let p2 = self.l2.l2_block_of(p1);
+                    let si = self.l2.sub_index(p1);
+                    if let Some(line) = self.l2.peek_mut(p2) {
+                        line.meta.subs[si].buffer = false;
+                    }
+                    self.events.parity_machine_checks += 1;
+                }
+            }
+        }
+    }
+
+    /// Recovers a poisoned first-level line: discard it, then (in
+    /// inclusive mode) repair any subentry left pointing at a vanished
+    /// child. In this organization the line's key *is* its physical
+    /// identity, so a clean line is always refetchable.
+    fn scrub_l1_line(&mut self, kind: FaultKind, key: BlockId) {
+        let dirty = match self.l1.invalidate(key) {
+            Some(line) => line.meta.dirty,
+            None => {
+                self.events.parity_refetches += 1;
+                return;
+            }
+        };
+        if self.inclusive() {
+            self.repair_dangling_inclusion();
+        }
+        if kind == FaultKind::VTagFlip && !dirty {
+            self.events.parity_refetches += 1;
+        } else {
+            // A flipped dirty bit leaves the true value unknown; a dirty
+            // retagged line may hold the only modified copy.
+            self.events.parity_machine_checks += 1;
+        }
+    }
+
+    /// Clears every inclusion bit whose child is no longer resident.
+    fn repair_dangling_inclusion(&mut self) {
+        let dangling: Vec<(BlockId, usize)> = self
+            .l2
+            .iter()
+            .flat_map(|line| {
+                let p2 = line.block;
+                line.meta
+                    .subs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.inclusion)
+                    .map(move |(i, s)| (p2, i, s.v_block))
+            })
+            .filter(|(_, _, child)| self.l1.peek(*child).is_none())
+            .map(|(p2, i, _)| (p2, i))
+            .collect();
+        for (p2, si) in dangling {
+            if let Some(line) = self.l2.peek_mut(p2) {
+                let sub = &mut line.meta.subs[si];
+                sub.inclusion = false;
+                sub.vdirty = false;
+            }
+        }
+    }
+
+    /// Recovers a poisoned second-level line by conservative teardown:
+    /// the line, its first-level copies and any buffered writes of its
+    /// granules are all discarded.
+    fn scrub_l2_line(&mut self, kind: FaultKind, p2: BlockId) {
+        let granules = self.l2.granules_of(p2);
+        let mut lost_dirty = false;
+        for g in &granules {
+            if let Some(line) = self.l1.invalidate(*g) {
+                lost_dirty |= line.meta.dirty;
+            }
+            lost_dirty |= self.wb.coherence_take(*g).is_some();
+        }
+        if let Some(line) = self.l2.invalidate(p2) {
+            lost_dirty |= line.meta.rdirty;
+        }
+        if kind == FaultKind::CohStateFlip && !lost_dirty {
+            self.events.parity_refetches += 1;
+        } else {
+            self.events.parity_machine_checks += 1;
+        }
+    }
+
+    fn record_poison(&mut self, poison: Poison) {
+        if self.parity {
+            self.poison.push(poison);
+        }
+    }
+
+    fn pick_l1_line(&self, seed: u64) -> Option<(BlockId, bool)> {
+        let lines: Vec<(BlockId, bool)> = self.l1.iter().map(|l| (l.block, l.meta.dirty)).collect();
+        if lines.is_empty() {
+            return None;
+        }
+        Some(lines[(seed % lines.len() as u64) as usize])
+    }
+
+    fn inject_l1_tag_flip(&mut self, seed: u64) -> Option<FaultRecord> {
+        let lines: Vec<BlockId> = self.l1.iter().map(|l| l.block).collect();
+        if lines.is_empty() {
+            return None;
+        }
+        let n = lines.len() as u64;
+        let set_bits = self.l1.geometry().set_bits();
+        for off in 0..n {
+            let key = lines[((seed + off) % n) as usize];
+            let flipped = fault::flip_tag_bit(key, set_bits);
+            if self.l1.peek(flipped).is_some() {
+                continue;
+            }
+            let line = self.l1.invalidate(key)?;
+            let dirty = line.meta.dirty;
+            let out = self.l1.fill(flipped, line.meta, |_: &Line<PMeta>| true);
+            debug_assert!(out.evicted.is_none(), "same set, freed way");
+            self.record_poison(Poison::L1Line {
+                kind: FaultKind::VTagFlip,
+                child: ChildCache::Data,
+                key: flipped,
+            });
+            return Some(FaultRecord {
+                kind: FaultKind::VTagFlip,
+                detail: format!("l1 line {key} retagged {flipped} dirty={dirty}"),
+            });
+        }
+        None
+    }
+
+    fn inject_r_side(&mut self, kind: FaultKind, seed: u64) -> Option<FaultRecord> {
+        if !self.inclusive() && kind != FaultKind::CohStateFlip {
+            // Without inclusion the subentry flags are never live; the
+            // only second-level state worth corrupting is the coherence
+            // state.
+            return None;
+        }
+        let mut preferred: Vec<(BlockId, usize)> = Vec::new();
+        let mut any: Vec<(BlockId, usize)> = Vec::new();
+        for line in self.l2.iter() {
+            for (si, sub) in line.meta.subs.iter().enumerate() {
+                any.push((line.block, si));
+                let live = match kind {
+                    FaultKind::RBufferFlip => sub.buffer,
+                    // Prefer granting bogus exclusivity (Shared -> Private):
+                    // the demotion direction only costs a redundant upgrade.
+                    FaultKind::CohStateFlip => line.meta.state == CohState::Shared,
+                    _ => sub.inclusion,
+                };
+                if live {
+                    preferred.push((line.block, si));
+                }
+            }
+        }
+        let pool = if preferred.is_empty() { any } else { preferred };
+        if pool.is_empty() {
+            return None;
+        }
+        let (p2, si) = pool[(seed % pool.len() as u64) as usize];
+        let line = self.l2.peek_mut(p2)?;
+        let detail = match kind {
+            FaultKind::RInclusionFlip => {
+                let sub = &mut line.meta.subs[si];
+                sub.inclusion = !sub.inclusion;
+                format!("l2 line {p2} sub {si} inclusion -> {}", sub.inclusion)
+            }
+            FaultKind::RBufferFlip => {
+                let sub = &mut line.meta.subs[si];
+                sub.buffer = !sub.buffer;
+                format!("l2 line {p2} sub {si} buffer -> {}", sub.buffer)
+            }
+            FaultKind::RVdirtyFlip => {
+                let sub = &mut line.meta.subs[si];
+                sub.vdirty = !sub.vdirty;
+                format!("l2 line {p2} sub {si} vdirty -> {}", sub.vdirty)
+            }
+            FaultKind::VPointerFlip => {
+                let set_bits = self.l1.geometry().set_bits();
+                let sub = &mut line.meta.subs[si];
+                let old = sub.v_block;
+                sub.v_block = fault::flip_tag_bit(old, set_bits);
+                format!("l2 line {p2} sub {si} v-pointer {old} -> {}", sub.v_block)
+            }
+            FaultKind::CohStateFlip => {
+                let old = line.meta.state;
+                line.meta.state = match old {
+                    CohState::Shared => CohState::Private,
+                    CohState::Private => CohState::Shared,
+                };
+                format!("l2 line {p2} state {old:?} -> {:?}", line.meta.state)
+            }
+            _ => return None,
+        };
+        self.record_poison(Poison::L2Line { kind, p2 });
+        Some(FaultRecord { kind, detail })
+    }
+}
+
+impl FaultPort for RrHierarchy {
+    fn inject_fault(&mut self, kind: FaultKind, seed: u64) -> Option<FaultRecord> {
+        match kind {
+            FaultKind::VTagFlip => self.inject_l1_tag_flip(seed),
+            FaultKind::VStateFlip => {
+                let (key, dirty) = self.pick_l1_line(seed)?;
+                let line = self.l1.peek_mut(key)?;
+                line.meta.dirty = !line.meta.dirty;
+                self.record_poison(Poison::L1Line {
+                    kind,
+                    child: ChildCache::Data,
+                    key,
+                });
+                Some(FaultRecord {
+                    kind,
+                    detail: format!("l1 line {key} dirty {dirty} -> {}", !dirty),
+                })
+            }
+            // The first level is physically addressed: its key *is* its
+            // identity, so there is no separate r-pointer to corrupt.
+            FaultKind::RPointerFlip => None,
+            FaultKind::RInclusionFlip
+            | FaultKind::RBufferFlip
+            | FaultKind::RVdirtyFlip
+            | FaultKind::VPointerFlip
+            | FaultKind::CohStateFlip => self.inject_r_side(kind, seed),
+            FaultKind::TlbEntryFlip => {
+                let (asid, vpn) = self.tlb.corrupt_entry(seed)?;
+                self.record_poison(Poison::TlbEntry { asid, vpn });
+                Some(FaultRecord {
+                    kind,
+                    detail: format!("tlb asid {} vpn {:#x}", asid.raw(), vpn.raw()),
+                })
+            }
+            FaultKind::WriteBufferDrop => {
+                let blocks: Vec<BlockId> = self.wb.iter().map(|e| e.block).collect();
+                if blocks.is_empty() {
+                    return None;
+                }
+                let p1 = blocks[(seed % blocks.len() as u64) as usize];
+                self.wb.coherence_take(p1)?;
+                self.record_poison(Poison::WbEntry { p1 });
+                Some(FaultRecord {
+                    kind,
+                    detail: format!("write buffer lost pending {p1}"),
+                })
+            }
+            FaultKind::BusDropTxn | FaultKind::BusDuplicateTxn | FaultKind::BusLostInvalidate => {
+                None
+            }
+        }
+    }
+}
+
 impl CacheHierarchy for RrHierarchy {
     fn access(
         &mut self,
@@ -435,6 +710,7 @@ impl CacheHierarchy for RrHierarchy {
         oracle: &mut VersionOracle,
     ) -> Result<AccessOutcome, CoherenceViolation> {
         debug_assert_eq!(access.cpu, self.cpu);
+        self.scrub_poison();
         self.refs += 1;
         if self.refs.is_multiple_of(self.drain_period) {
             if let Some(e) = self.wb.drain_one() {
@@ -562,11 +838,13 @@ impl CacheHierarchy for RrHierarchy {
     }
 
     fn context_switch(&mut self, _from: Asid, _to: Asid) {
+        self.scrub_poison();
         // Physical caches survive context switches untouched.
         self.events.context_switches += 1;
     }
 
     fn tlb_shootdown(&mut self, asid: Asid, vpn: Vpn, _bus: &mut dyn SystemBus) -> u32 {
+        self.scrub_poison();
         // Physically-addressed caches survive a remap untouched; only the
         // translation itself must go.
         self.tlb.flush_asid_vpn(asid, vpn);
@@ -575,6 +853,7 @@ impl CacheHierarchy for RrHierarchy {
 
     fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {
         debug_assert_ne!(txn.source, self.cpu);
+        self.scrub_poison();
         if !self.inclusive() && txn.op.is_coherence_relevant() {
             // Without inclusion the second level cannot prove absence: the
             // first level is interrogated for every foreign transaction.
@@ -786,5 +1065,88 @@ mod tests {
             0,
             "non-inclusive mode never performs inclusion invalidations"
         );
+    }
+
+    // ---- fault injection, parity detection and recovery ----
+
+    fn warm_parity(mode: InclusionMode) -> RrHierarchy {
+        let mut h = RrHierarchy::new(CpuId::new(0), &cfg().with_parity(), mode);
+        let accesses: Vec<MemAccess> = (0..8)
+            .map(|i| acc(AccessKind::DataRead, i * 16))
+            .chain([acc(AccessKind::DataWrite, 0)])
+            .collect();
+        run(&mut h, &accesses);
+        h
+    }
+
+    fn rr_detections(h: &RrHierarchy) -> u64 {
+        h.events().parity_refetches + h.events().parity_machine_checks
+    }
+
+    #[test]
+    fn l1_tag_flip_recovers_in_both_modes() {
+        for mode in [InclusionMode::Inclusive, InclusionMode::NonInclusive] {
+            let mut h = warm_parity(mode);
+            let rec = h.inject_fault(FaultKind::VTagFlip, 2).expect("target");
+            assert_eq!(rec.kind, FaultKind::VTagFlip);
+            run(&mut h, &[acc(AccessKind::DataRead, 0x200)]);
+            assert!(rr_detections(&h) >= 1, "{mode:?} undetected");
+            h.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn dirty_state_flip_machine_checks() {
+        let mut h = warm_parity(InclusionMode::Inclusive);
+        h.inject_fault(FaultKind::VStateFlip, 0).expect("target");
+        run(&mut h, &[acc(AccessKind::DataRead, 0x200)]);
+        assert_eq!(h.events().parity_machine_checks, 1);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn subentry_kinds_apply_only_when_inclusion_is_live() {
+        let mut h = warm_parity(InclusionMode::NonInclusive);
+        for kind in [
+            FaultKind::RInclusionFlip,
+            FaultKind::RBufferFlip,
+            FaultKind::RVdirtyFlip,
+            FaultKind::VPointerFlip,
+        ] {
+            assert!(
+                h.inject_fault(kind, 0).is_none(),
+                "{kind} has no live target without inclusion"
+            );
+        }
+        // The coherence state is live in both modes.
+        assert!(h.inject_fault(FaultKind::CohStateFlip, 0).is_some());
+        // There is no r-pointer in a physical first level.
+        assert!(h.inject_fault(FaultKind::RPointerFlip, 0).is_none());
+    }
+
+    #[test]
+    fn inclusive_subentry_flips_recover_to_sound_state() {
+        for kind in [
+            FaultKind::RInclusionFlip,
+            FaultKind::RBufferFlip,
+            FaultKind::RVdirtyFlip,
+            FaultKind::VPointerFlip,
+            FaultKind::CohStateFlip,
+        ] {
+            let mut h = warm_parity(InclusionMode::Inclusive);
+            h.inject_fault(kind, 3).expect("target");
+            run(&mut h, &[acc(AccessKind::DataRead, 0x200)]);
+            assert!(rr_detections(&h) >= 1, "{kind} undetected");
+            h.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn tlb_flip_recovers_by_rewalk() {
+        let mut h = warm_parity(InclusionMode::Inclusive);
+        h.inject_fault(FaultKind::TlbEntryFlip, 0).expect("target");
+        run(&mut h, &[acc(AccessKind::DataRead, 0x200)]);
+        assert_eq!(h.events().parity_refetches, 1);
+        h.check_invariants().unwrap();
     }
 }

@@ -44,6 +44,7 @@ use crate::config::{
     CoherenceProtocol, ContextSwitchPolicy, HierarchyConfig, L1Organization, L1WritePolicy,
 };
 use crate::events::HierarchyEvents;
+use crate::fault::{self, FaultKind, FaultPort, FaultRecord, Poison};
 use crate::hierarchy::{AccessOutcome, BlockPresence, CacheHierarchy, SynonymKind};
 use crate::invariant::{self, InvariantChecker, InvariantExpect, InvariantViolation};
 use crate::rcache::{ChildCache, CohState, RCache, RMeta};
@@ -74,6 +75,10 @@ pub struct VrHierarchy {
     last_wb_at: Option<u64>,
     last_swapped_wb_at: Option<u64>,
     checker: InvariantChecker,
+    /// Modeled parity on the tag/state arrays and the TLB.
+    parity: bool,
+    /// Outstanding parity syndromes, scrubbed at the next operation.
+    poison: Vec<Poison>,
 }
 
 impl VrHierarchy {
@@ -121,6 +126,8 @@ impl VrHierarchy {
             last_wb_at: None,
             last_swapped_wb_at: None,
             checker: InvariantChecker::new(cfg.runtime_checks),
+            parity: cfg.parity,
+            poison: Vec::new(),
         }
     }
 
@@ -614,6 +621,7 @@ impl CacheHierarchy for VrHierarchy {
         oracle: &mut VersionOracle,
     ) -> Result<AccessOutcome, CoherenceViolation> {
         debug_assert_eq!(access.cpu, self.cpu, "access routed to the wrong CPU");
+        self.scrub_poison();
         self.refs += 1;
         // The write buffer drains in parallel with processor execution: one
         // pending write-back completes per drain period (the second level
@@ -827,6 +835,7 @@ impl CacheHierarchy for VrHierarchy {
     }
 
     fn context_switch(&mut self, _from: Asid, _to: Asid) {
+        self.scrub_poison();
         self.events.context_switches += 1;
         match self.cs_policy {
             ContextSwitchPolicy::SwappedValid => {
@@ -868,6 +877,7 @@ impl CacheHierarchy for VrHierarchy {
     }
 
     fn tlb_shootdown(&mut self, asid: Asid, vpn: Vpn, _bus: &mut dyn SystemBus) -> u32 {
+        self.scrub_poison();
         self.tlb.flush_asid_vpn(asid, vpn);
         // Retire every V-cache line of the affected virtual page: their
         // r-pointer linkage dies with the old translation. Dirty data is
@@ -908,6 +918,7 @@ impl CacheHierarchy for VrHierarchy {
 
     fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {
         debug_assert_ne!(txn.source, self.cpu, "a hierarchy never snoops itself");
+        self.scrub_poison();
         let reply = match txn.op {
             BusOp::ReadMiss => self.snoop_read(txn.block),
             BusOp::Invalidate => self.snoop_invalidate(txn.block),
@@ -1037,6 +1048,336 @@ impl VrHierarchy {
         sub.buffer = false;
         sub.version = version;
         line.meta.rdirty = true;
+    }
+}
+
+// ---- modeled parity: fault injection, detection and recovery ----
+impl VrHierarchy {
+    /// Detects and recovers outstanding parity syndromes. Runs at the
+    /// entry of every public operation — before any lookup can consume
+    /// corrupted state, exactly as a parity check fires on the array
+    /// read itself. With parity disabled the poison list is always
+    /// empty and this is a no-op.
+    fn scrub_poison(&mut self) {
+        if self.poison.is_empty() {
+            return;
+        }
+        let poisons = std::mem::take(&mut self.poison);
+        for p in poisons {
+            match p {
+                Poison::L1Line { kind, child, key } => self.scrub_v_line(kind, child, key),
+                Poison::L2Line { kind, p2 } => self.scrub_r_line(kind, p2),
+                Poison::TlbEntry { asid, vpn } => {
+                    // A corrupted translation is simply re-walked: flush
+                    // the entry and let the next miss refill it.
+                    self.tlb.flush_asid_vpn(asid, vpn);
+                    self.events.parity_refetches += 1;
+                }
+                Poison::WbEntry { p1 } => {
+                    // The pending write vanished: clear the dangling
+                    // buffer bit so the structure stays sound. The
+                    // modified data is gone — machine check.
+                    let p2 = self.l2.l2_block_of(p1);
+                    let si = self.l2.sub_index(p1);
+                    if let Some(line) = self.l2.peek_mut(p2) {
+                        line.meta.subs[si].buffer = false;
+                    }
+                    self.events.parity_machine_checks += 1;
+                }
+            }
+        }
+    }
+
+    /// Recovers a poisoned V-cache line. Parity identifies the entry but
+    /// cannot correct it, so the line is discarded; what else must go
+    /// depends on which field faulted.
+    fn scrub_v_line(&mut self, kind: FaultKind, child: ChildCache, key: BlockId) {
+        let Some(line) = self.front_mut(child).invalidate(key) else {
+            // The poisoned line was already replaced; nothing to repair.
+            self.events.parity_refetches += 1;
+            return;
+        };
+        match kind {
+            FaultKind::RPointerFlip => {
+                // The r-pointer itself is suspect: locate the parent by
+                // its v-pointer instead and sever the linkage.
+                self.clear_linkage_by_v_pointer(child, key);
+                // Pointer metadata faulted — even a clean line may have
+                // been reachable through a wrong parent.
+                self.events.parity_machine_checks += 1;
+            }
+            _ => {
+                // Tag or state flip: the r-pointer is trusted.
+                self.clear_sub_linkage(line.meta.p_block);
+                if kind == FaultKind::VTagFlip && !line.meta.dirty {
+                    // Clean data under a wrong tag: treat as a miss.
+                    self.events.parity_refetches += 1;
+                } else {
+                    // A dirty line (or a dirty bit of unknown true
+                    // value) may carry the only copy of modified data.
+                    self.events.parity_machine_checks += 1;
+                }
+            }
+        }
+    }
+
+    /// Clears the inclusion linkage of granule `p1`'s parent subentry.
+    fn clear_sub_linkage(&mut self, p1: BlockId) {
+        let p2 = self.l2.l2_block_of(p1);
+        let si = self.l2.sub_index(p1);
+        if let Some(line) = self.l2.peek_mut(p2) {
+            let sub = &mut line.meta.subs[si];
+            sub.inclusion = false;
+            sub.vdirty = false;
+        }
+    }
+
+    /// Clears every subentry whose v-pointer names `(child, vblock)` —
+    /// the reverse lookup used when the forward r-pointer is suspect.
+    fn clear_linkage_by_v_pointer(&mut self, child: ChildCache, vblock: BlockId) {
+        let targets: Vec<(BlockId, usize)> = self
+            .l2
+            .iter()
+            .flat_map(|line| {
+                let p2 = line.block;
+                line.meta
+                    .subs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.inclusion && s.child == child && s.v_block == vblock)
+                    .map(move |(i, _)| (p2, i))
+            })
+            .collect();
+        for (p2, si) in targets {
+            if let Some(line) = self.l2.peek_mut(p2) {
+                let sub = &mut line.meta.subs[si];
+                sub.inclusion = false;
+                sub.vdirty = false;
+            }
+        }
+    }
+
+    /// Recovers a poisoned R-cache line by conservative teardown: every
+    /// V-cache child and buffered write of the line's granules is
+    /// discarded (trusting only the V-side r-pointers, never the
+    /// corrupted subentries) and the line is invalidated. Only a
+    /// provably-clean coherence-state flip counts as a refetch; any
+    /// pointer/flag corruption, or discarded modified data, is a
+    /// machine check.
+    fn scrub_r_line(&mut self, kind: FaultKind, p2: BlockId) {
+        let granules = self.l2.granules_of(p2);
+        let mut lost_dirty = false;
+        for child in [ChildCache::Data, ChildCache::Instr] {
+            if child == ChildCache::Instr && self.l1i.is_none() {
+                continue;
+            }
+            let keys: Vec<BlockId> = self
+                .front(child)
+                .iter()
+                .filter(|l| granules.contains(&l.meta.p_block))
+                .map(|l| l.block)
+                .collect();
+            for k in keys {
+                if let Some(line) = self.front_mut(child).invalidate(k) {
+                    lost_dirty |= line.meta.dirty;
+                }
+            }
+        }
+        for g in &granules {
+            lost_dirty |= self.wb.coherence_take(*g).is_some();
+        }
+        if let Some(line) = self.l2.invalidate(p2) {
+            lost_dirty |= line.meta.rdirty;
+        }
+        if kind == FaultKind::CohStateFlip && !lost_dirty {
+            self.events.parity_refetches += 1;
+        } else {
+            self.events.parity_machine_checks += 1;
+        }
+    }
+
+    fn record_poison(&mut self, poison: Poison) {
+        if self.parity {
+            self.poison.push(poison);
+        }
+    }
+
+    /// Deterministically picks the `seed`-th valid V-cache line (data
+    /// front), returning its key and metadata.
+    fn pick_v_line(&self, seed: u64) -> Option<(BlockId, VMeta)> {
+        let lines: Vec<(BlockId, VMeta)> = self.l1d.iter().map(|l| (l.block, l.meta)).collect();
+        if lines.is_empty() {
+            return None;
+        }
+        Some(lines[(seed % lines.len() as u64) as usize])
+    }
+
+    fn inject_v_tag_flip(&mut self, seed: u64) -> Option<FaultRecord> {
+        let lines: Vec<(BlockId, VMeta)> = self.l1d.iter().map(|l| (l.block, l.meta)).collect();
+        if lines.is_empty() {
+            return None;
+        }
+        let n = lines.len() as u64;
+        let set_bits = self.l1d.geometry().set_bits();
+        for off in 0..n {
+            let (key, meta) = lines[((seed + off) % n) as usize];
+            let flipped = fault::flip_tag_bit(key, set_bits);
+            if self.l1d.peek(flipped).is_some() {
+                // The flipped tag collides with a resident line; a
+                // different victim keeps the single-fault model clean.
+                continue;
+            }
+            let line = self.l1d.invalidate(key)?;
+            let out = self.l1d.fill(flipped, line.meta);
+            debug_assert!(out.evicted.is_none(), "same set, freed way");
+            self.record_poison(Poison::L1Line {
+                kind: FaultKind::VTagFlip,
+                child: ChildCache::Data,
+                key: flipped,
+            });
+            return Some(FaultRecord {
+                kind: FaultKind::VTagFlip,
+                detail: format!("v-line {key} retagged {flipped} dirty={}", meta.dirty),
+            });
+        }
+        None
+    }
+
+    fn inject_v_state_flip(&mut self, seed: u64) -> Option<FaultRecord> {
+        let (key, meta) = self.pick_v_line(seed)?;
+        let line = self.l1d.peek_mut(key)?;
+        line.meta.dirty = !line.meta.dirty;
+        self.record_poison(Poison::L1Line {
+            kind: FaultKind::VStateFlip,
+            child: ChildCache::Data,
+            key,
+        });
+        Some(FaultRecord {
+            kind: FaultKind::VStateFlip,
+            detail: format!("v-line {key} dirty {} -> {}", meta.dirty, !meta.dirty),
+        })
+    }
+
+    fn inject_r_pointer_flip(&mut self, seed: u64) -> Option<FaultRecord> {
+        let (key, meta) = self.pick_v_line(seed)?;
+        let corrupted = BlockId::new(meta.p_block.raw() ^ 1);
+        let line = self.l1d.peek_mut(key)?;
+        line.meta.p_block = corrupted;
+        self.record_poison(Poison::L1Line {
+            kind: FaultKind::RPointerFlip,
+            child: ChildCache::Data,
+            key,
+        });
+        Some(FaultRecord {
+            kind: FaultKind::RPointerFlip,
+            detail: format!("v-line {key} r-pointer {} -> {corrupted}", meta.p_block),
+        })
+    }
+
+    /// Injects one of the R-cache-side kinds, preferring a target where
+    /// the flipped field is live (an inclusion-linked subentry for
+    /// inclusion/vdirty/v-pointer faults, a buffered one for buffer
+    /// faults) and falling back to any subentry.
+    fn inject_r_side(&mut self, kind: FaultKind, seed: u64) -> Option<FaultRecord> {
+        let mut preferred: Vec<(BlockId, usize)> = Vec::new();
+        let mut any: Vec<(BlockId, usize)> = Vec::new();
+        for line in self.l2.iter() {
+            for (si, sub) in line.meta.subs.iter().enumerate() {
+                any.push((line.block, si));
+                let live = match kind {
+                    FaultKind::RBufferFlip => sub.buffer,
+                    // Prefer granting bogus exclusivity (Shared -> Private):
+                    // the demotion direction only costs a redundant upgrade.
+                    FaultKind::CohStateFlip => line.meta.state == CohState::Shared,
+                    _ => sub.inclusion,
+                };
+                if live {
+                    preferred.push((line.block, si));
+                }
+            }
+        }
+        let pool = if preferred.is_empty() { any } else { preferred };
+        if pool.is_empty() {
+            return None;
+        }
+        let (p2, si) = pool[(seed % pool.len() as u64) as usize];
+        let line = self.l2.peek_mut(p2)?;
+        let detail = match kind {
+            FaultKind::RInclusionFlip => {
+                let sub = &mut line.meta.subs[si];
+                sub.inclusion = !sub.inclusion;
+                format!("r-line {p2} sub {si} inclusion -> {}", sub.inclusion)
+            }
+            FaultKind::RBufferFlip => {
+                let sub = &mut line.meta.subs[si];
+                sub.buffer = !sub.buffer;
+                format!("r-line {p2} sub {si} buffer -> {}", sub.buffer)
+            }
+            FaultKind::RVdirtyFlip => {
+                let sub = &mut line.meta.subs[si];
+                sub.vdirty = !sub.vdirty;
+                format!("r-line {p2} sub {si} vdirty -> {}", sub.vdirty)
+            }
+            FaultKind::VPointerFlip => {
+                let set_bits = self.l1d.geometry().set_bits();
+                let sub = &mut line.meta.subs[si];
+                let old = sub.v_block;
+                sub.v_block = fault::flip_tag_bit(old, set_bits);
+                format!("r-line {p2} sub {si} v-pointer {old} -> {}", sub.v_block)
+            }
+            FaultKind::CohStateFlip => {
+                let old = line.meta.state;
+                line.meta.state = match old {
+                    CohState::Shared => CohState::Private,
+                    CohState::Private => CohState::Shared,
+                };
+                format!("r-line {p2} state {old:?} -> {:?}", line.meta.state)
+            }
+            _ => return None,
+        };
+        self.record_poison(Poison::L2Line { kind, p2 });
+        Some(FaultRecord { kind, detail })
+    }
+
+    fn inject_wb_drop(&mut self, seed: u64) -> Option<FaultRecord> {
+        let blocks: Vec<BlockId> = self.wb.iter().map(|e| e.block).collect();
+        if blocks.is_empty() {
+            return None;
+        }
+        let p1 = blocks[(seed % blocks.len() as u64) as usize];
+        self.wb.coherence_take(p1)?;
+        self.record_poison(Poison::WbEntry { p1 });
+        Some(FaultRecord {
+            kind: FaultKind::WriteBufferDrop,
+            detail: format!("write buffer lost pending {p1}"),
+        })
+    }
+}
+
+impl FaultPort for VrHierarchy {
+    fn inject_fault(&mut self, kind: FaultKind, seed: u64) -> Option<FaultRecord> {
+        match kind {
+            FaultKind::VTagFlip => self.inject_v_tag_flip(seed),
+            FaultKind::VStateFlip => self.inject_v_state_flip(seed),
+            FaultKind::RPointerFlip => self.inject_r_pointer_flip(seed),
+            FaultKind::RInclusionFlip
+            | FaultKind::RBufferFlip
+            | FaultKind::RVdirtyFlip
+            | FaultKind::VPointerFlip
+            | FaultKind::CohStateFlip => self.inject_r_side(kind, seed),
+            FaultKind::TlbEntryFlip => {
+                let (asid, vpn) = self.tlb.corrupt_entry(seed)?;
+                self.record_poison(Poison::TlbEntry { asid, vpn });
+                Some(FaultRecord {
+                    kind,
+                    detail: format!("tlb asid {} vpn {:#x}", asid.raw(), vpn.raw()),
+                })
+            }
+            FaultKind::WriteBufferDrop => self.inject_wb_drop(seed),
+            FaultKind::BusDropTxn | FaultKind::BusDuplicateTxn | FaultKind::BusLostInvalidate => {
+                None
+            }
+        }
     }
 }
 
@@ -1596,5 +1937,168 @@ mod tests {
         let r = Rig::new(&cfg());
         assert!(!r.h.events().to_string().is_empty());
         assert!(r.h.tlb().stats().lookups() == 0);
+    }
+
+    // ---- fault injection, parity detection and recovery ----
+
+    use crate::fault::{FaultKind, FaultPort};
+
+    fn parity_rig() -> Rig {
+        Rig::new(&cfg().with_parity())
+    }
+
+    fn warm(r: &mut Rig) {
+        // A mix of clean and dirty lines over several pages.
+        for i in 0..8u64 {
+            r.read(0x1000 + i * 0x10, 0x9000 + i * 0x10);
+        }
+        r.write(0x1000, 0x9000);
+        r.write(0x1020, 0x9020);
+    }
+
+    fn detections(r: &Rig) -> u64 {
+        r.h.events().parity_refetches + r.h.events().parity_machine_checks
+    }
+
+    #[test]
+    fn clean_v_tag_flip_is_detected_and_refetched() {
+        let mut r = parity_rig();
+        for i in 0..8u64 {
+            r.read(0x1000 + i * 0x10, 0x9000 + i * 0x10);
+        }
+        // Seeds cycle over the candidate lines; with no dirty lines every
+        // victim recovers as a refetch.
+        let rec = r.h.inject_fault(FaultKind::VTagFlip, 0).expect("target");
+        assert_eq!(rec.kind, FaultKind::VTagFlip);
+        r.read(0x1080, 0x9080);
+        assert_eq!(r.h.events().parity_refetches, 1);
+        assert_eq!(r.h.events().parity_machine_checks, 0);
+        r.h.check_invariants().unwrap();
+        // The workload replays correctly afterwards.
+        for i in 0..8u64 {
+            r.read(0x1000 + i * 0x10, 0x9000 + i * 0x10);
+        }
+    }
+
+    #[test]
+    fn dirty_v_state_flip_machine_checks() {
+        let mut r = parity_rig();
+        warm(&mut r);
+        r.h.inject_fault(FaultKind::VStateFlip, 0).expect("target");
+        r.read(0x1080, 0x9080);
+        assert_eq!(r.h.events().parity_machine_checks, 1);
+        r.h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn r_pointer_flip_severs_linkage_and_machine_checks() {
+        let mut r = parity_rig();
+        warm(&mut r);
+        r.h.inject_fault(FaultKind::RPointerFlip, 3)
+            .expect("target");
+        r.read(0x1080, 0x9080);
+        assert_eq!(r.h.events().parity_machine_checks, 1);
+        r.h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn r_side_flips_recover_to_sound_state() {
+        for kind in [
+            FaultKind::RInclusionFlip,
+            FaultKind::RBufferFlip,
+            FaultKind::RVdirtyFlip,
+            FaultKind::VPointerFlip,
+            FaultKind::CohStateFlip,
+        ] {
+            let mut r = parity_rig();
+            warm(&mut r);
+            let rec = r.h.inject_fault(kind, 5).expect("target");
+            assert_eq!(rec.kind, kind);
+            r.read(0x1080, 0x9080);
+            assert!(detections(&r) >= 1, "{kind} undetected");
+            r.h.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn tlb_flip_recovers_by_rewalk() {
+        let mut r = parity_rig();
+        warm(&mut r);
+        r.h.inject_fault(FaultKind::TlbEntryFlip, 1)
+            .expect("target");
+        r.read(0x1080, 0x9080);
+        assert_eq!(r.h.events().parity_refetches, 1);
+        // The corrupted translation was flushed before any use: the
+        // original mapping still reads back correctly.
+        for i in 0..8u64 {
+            r.read(0x1000 + i * 0x10, 0x9000 + i * 0x10);
+        }
+        r.h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_buffer_drop_clears_dangling_buffer_bit() {
+        // Long drain period keeps the pending write in the buffer.
+        let mut r = Rig::new(
+            &cfg()
+                .with_parity()
+                .with_write_buffer(4)
+                .with_drain_period(64),
+        );
+        // Same V set, different R sets: the dirty victim enters the
+        // write buffer and nothing folds it back in.
+        r.write(0x1000, 0x9000);
+        r.write(0x2000, 0x9100);
+        assert!(!r.h.wb.is_empty(), "a write-back is pending");
+        let rec =
+            r.h.inject_fault(FaultKind::WriteBufferDrop, 0)
+                .expect("target");
+        assert_eq!(rec.kind, FaultKind::WriteBufferDrop);
+        r.read(0x1080, 0x9080);
+        assert_eq!(r.h.events().parity_machine_checks, 1);
+        r.h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bus_level_kinds_are_not_injectable_through_the_port() {
+        let mut r = parity_rig();
+        warm(&mut r);
+        for kind in FaultKind::ALL.iter().filter(|k| k.is_bus_level()) {
+            assert!(r.h.inject_fault(*kind, 0).is_none());
+        }
+    }
+
+    #[test]
+    fn parity_off_records_no_poison_and_no_detections() {
+        // No parity AND no runtime invariant checks: nothing notices.
+        let raw = HierarchyConfig::direct_mapped(256, 4096, 16).unwrap();
+        let mut r = Rig::new(&raw);
+        warm(&mut r);
+        r.h.inject_fault(FaultKind::RInclusionFlip, 0)
+            .expect("target");
+        // No syndrome was recorded, so nothing will ever be scrubbed —
+        // the corruption lies latent until the structure is exercised,
+        // which is exactly the silent propagation the campaigns show.
+        assert!(r.h.poison.is_empty());
+        assert_eq!(detections(&r), 0);
+    }
+
+    #[test]
+    fn scrub_runs_before_every_public_operation() {
+        // Each public entry point must clear outstanding poison.
+        let mut r = parity_rig();
+        warm(&mut r);
+        r.h.inject_fault(FaultKind::RInclusionFlip, 0)
+            .expect("target");
+        r.h.context_switch(Asid::new(1), Asid::new(2));
+        assert!(detections(&r) >= 1, "context_switch scrubs");
+
+        let mut r = parity_rig();
+        warm(&mut r);
+        r.h.inject_fault(FaultKind::TlbEntryFlip, 0)
+            .expect("target");
+        let mut bus = LoopbackBus::new();
+        r.h.tlb_shootdown(Asid::new(7), Vpn::new(0x77), &mut bus);
+        assert!(detections(&r) >= 1, "tlb_shootdown scrubs");
     }
 }

@@ -1,0 +1,139 @@
+//! The pinned silent-data-corruption allowlist.
+//!
+//! `crates/inject/baseline.txt` holds one line per *reviewed* SDC route
+//! observed with parity **off** — the demonstration that the faults are
+//! dangerous and the parity model is load-bearing. Format, mirroring the
+//! mutation baseline:
+//!
+//! ```text
+//! # comment
+//! <row id> — <why this corruption route reaches silent data corruption>
+//! ```
+//!
+//! Parity-**on** ids are never allowed here: a parity-on SDC is a bug in
+//! the recovery model, not a fact to pin. The campaign runner and the
+//! `injection-baseline` lint both enforce that.
+
+/// One allowlisted SDC route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// The campaign row id (`<org>/<kind>/pt<idx>/s<seed>/par=off`).
+    pub id: String,
+    /// Why this fault reaches silent data corruption without parity.
+    pub justification: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the baseline format. Blank lines and `#` comments are
+    /// skipped; a non-comment line without the ` — ` separator or with
+    /// an empty justification is an error (every pinned SDC must be
+    /// explained).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (id, justification) = line
+                .split_once(" — ")
+                .ok_or_else(|| format!("line {}: missing ' — ' separator", lineno + 1))?;
+            let id = id.trim();
+            let justification = justification.trim();
+            if id.is_empty() || justification.is_empty() {
+                return Err(format!("line {}: empty id or justification", lineno + 1));
+            }
+            entries.push(BaselineEntry {
+                id: id.to_string(),
+                justification: justification.to_string(),
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Whether `id` is allowlisted.
+    pub fn contains(&self, id: &str) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Ids that carry `par=on` — always a baseline bug.
+    pub fn parity_on_ids(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| e.id.contains("par=on"))
+            .map(|e| e.id.as_str())
+            .collect()
+    }
+}
+
+/// Renders a baseline skeleton for the given SDC ids, keeping any
+/// justification already present in `existing`.
+pub fn render_template(ids: &[String], existing: &Baseline) -> String {
+    let mut out = String::from(
+        "# Pinned silent-data-corruption routes (parity OFF).\n\
+         # One line per reviewed route: <row id> — <why it is silent>.\n\
+         # Parity-on ids are forbidden; the injection-baseline lint enforces this.\n",
+    );
+    let mut sorted = ids.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    for id in &sorted {
+        let justification = existing
+            .entries
+            .iter()
+            .find(|e| &e.id == id)
+            .map(|e| e.justification.as_str())
+            .unwrap_or("TODO: explain the corruption route");
+        out.push_str(&format!("{} — {}\n", id, justification));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let b = Baseline::parse(
+            "# header\n\nvr/coh-state-flip/pt0/s1/par=off — write skips invalidation\n",
+        )
+        .unwrap();
+        assert_eq!(b.entries.len(), 1);
+        assert!(b.contains("vr/coh-state-flip/pt0/s1/par=off"));
+        assert!(!b.contains("vr/coh-state-flip/pt0/s1/par=on"));
+        assert!(b.parity_on_ids().is_empty());
+    }
+
+    #[test]
+    fn rejects_unexplained_lines() {
+        assert!(Baseline::parse("vr/x/pt0/s1/par=off\n").is_err());
+        assert!(Baseline::parse("vr/x/pt0/s1/par=off — \n").is_err());
+    }
+
+    #[test]
+    fn flags_parity_on_ids() {
+        let b = Baseline::parse("a/b/pt0/s1/par=on — oops\n").unwrap();
+        assert_eq!(b.parity_on_ids(), vec!["a/b/pt0/s1/par=on"]);
+    }
+
+    #[test]
+    fn template_round_trips_justifications() {
+        let existing = Baseline::parse("x — because\n").unwrap();
+        let text = render_template(&["x".to_string(), "y".to_string()], &existing);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries[0].justification, "because");
+        assert!(parsed.entries[1].justification.starts_with("TODO"));
+    }
+}

@@ -1,0 +1,235 @@
+//! `vrcache-inject` — the fault-injection campaign runner.
+//!
+//! ```text
+//! cargo run --release -p vrcache-inject -- --campaign smoke
+//! cargo run --release -p vrcache-inject -- --campaign full --filter vr/
+//! cargo run --release -p vrcache-inject -- --campaign smoke --write-baseline
+//! ```
+//!
+//! Exit status: `0` when the sweep upholds the robustness contract
+//! (no parity-on SDC, every parity-off SDC allowlisted with a reviewed
+//! justification, every fault kind exercised at least once), `1` when a
+//! contract check fails, `2` on usage errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vrcache_inject::baseline::{self, Baseline};
+use vrcache_inject::{find_root, report, Campaign};
+
+struct Args {
+    campaign: String,
+    filter: String,
+    report_path: Option<PathBuf>,
+    write_baseline: bool,
+    list: bool,
+}
+
+fn usage() -> String {
+    "usage: vrcache-inject --campaign <smoke|full> [options]\n\
+     \n\
+     options:\n\
+     \x20 --campaign <smoke|full>   which sweep to run (required unless --list)\n\
+     \x20 --filter <substring>      run only row ids containing <substring>\n\
+     \x20 --report <path>           report destination (default target/injection-report.txt)\n\
+     \x20 --write-baseline          regenerate crates/inject/baseline.txt from this run's\n\
+     \x20                           parity-off SDC set (keeps existing justifications)\n\
+     \x20 --list                    print row ids without running\n"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        campaign: String::new(),
+        filter: String::new(),
+        report_path: None,
+        write_baseline: false,
+        list: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--campaign" => args.campaign = value("--campaign")?,
+            "--filter" => args.filter = value("--filter")?,
+            "--report" => args.report_path = Some(PathBuf::from(value("--report")?)),
+            "--write-baseline" => args.write_baseline = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument: {other}\n\n{}", usage())),
+        }
+    }
+    if args.campaign.is_empty() {
+        args.campaign = "smoke".to_string();
+    }
+    Ok(args)
+}
+
+fn build_campaign(name: &str) -> Result<Campaign, String> {
+    match name {
+        "smoke" => Ok(Campaign::smoke()),
+        "full" => Ok(Campaign::full()),
+        other => Err(format!("unknown campaign '{other}' (want smoke or full)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let campaign = match build_campaign(&args.campaign) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        for spec in &campaign.specs {
+            let id = spec.id();
+            if args.filter.is_empty() || id.contains(&args.filter) {
+                println!("{id}");
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))) else {
+        eprintln!("cannot locate the workspace root");
+        return ExitCode::from(2);
+    };
+
+    // Injected faults are *supposed* to trip assertions; keep the
+    // campaign's own output readable by silencing the per-panic
+    // backtraces (every panic is still caught and classified).
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = campaign.run(&args.filter, |row| {
+        println!("{} {}", row.id(), row.result.outcome.label());
+    });
+    let _ = std::panic::take_hook();
+
+    println!();
+    println!("campaign '{}': {} runs", result.name, result.rows.len());
+    for (outcome, count) in result.counts() {
+        println!("  {:<20} {}", outcome.label(), count);
+    }
+
+    let report_path = args
+        .report_path
+        .unwrap_or_else(|| root.join("target").join("injection-report.txt"));
+    if let Some(parent) = report_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("cannot create {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&report_path, report::render(&result)) {
+        eprintln!("cannot write {}: {e}", report_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("report: {}", report_path.display());
+
+    let baseline_path = root.join("crates").join("inject").join("baseline.txt");
+    let baseline_text = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let baseline = match Baseline::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("FAIL: {} is malformed: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sdc_off = result.sdc_ids(Some(false));
+    if args.write_baseline {
+        let text = baseline::render_template(&sdc_off, &baseline);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "baseline: wrote {} entries to {}",
+            sdc_off.len(),
+            baseline_path.display()
+        );
+    }
+
+    let mut failed = false;
+
+    // Contract 1: with parity + recovery on, nothing is silent. Ever.
+    let sdc_on = result.sdc_ids(Some(true));
+    if !sdc_on.is_empty() {
+        failed = true;
+        eprintln!("FAIL: silent data corruption with parity ON:");
+        for id in &sdc_on {
+            eprintln!("  {id}");
+        }
+    }
+
+    // Contract 2: every parity-off SDC route is pinned and explained.
+    if !args.write_baseline {
+        let unpinned: Vec<&String> = sdc_off.iter().filter(|id| !baseline.contains(id)).collect();
+        if !unpinned.is_empty() {
+            failed = true;
+            eprintln!("FAIL: unreviewed parity-off SDC routes (run --write-baseline and explain):");
+            for id in unpinned {
+                eprintln!("  {id}");
+            }
+        }
+    }
+
+    // Contract 3: the baseline never allowlists a parity-on id.
+    let bad_baseline = baseline.parity_on_ids();
+    if !bad_baseline.is_empty() {
+        failed = true;
+        eprintln!("FAIL: baseline allowlists parity-on ids:");
+        for id in bad_baseline {
+            eprintln!("  {id}");
+        }
+    }
+
+    // Contract 4 (full sweeps only): every fault kind corrupted
+    // something somewhere — a kind that never applies is dead weight in
+    // the fault model.
+    if args.filter.is_empty() {
+        let unexercised = result.unexercised_kinds();
+        if !unexercised.is_empty() {
+            failed = true;
+            eprintln!("FAIL: fault kinds never exercised:");
+            for kind in unexercised {
+                eprintln!("  {}", kind.label());
+            }
+        }
+    }
+
+    // Stale baseline entries are informational only: the SDC set differs
+    // between debug and release builds (debug assertions turn several
+    // silent routes into loud ones), and the baseline pins their union.
+    let stale: Vec<&baseline::BaselineEntry> = baseline
+        .entries
+        .iter()
+        .filter(|e| !sdc_off.contains(&e.id))
+        .collect();
+    if !stale.is_empty() && args.filter.is_empty() {
+        println!(
+            "note: {} baseline entr{} did not reach SDC in this run (expected across debug/release)",
+            stale.len(),
+            if stale.len() == 1 { "y" } else { "ies" }
+        );
+    }
+
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("injection campaign clean");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,279 @@
+//! Campaign enumeration: the cross product of fault kind × organization
+//! × injection point × seed × parity, and its aggregate result.
+
+use vrcache::config::HierarchyConfig;
+use vrcache::fault::FaultKind;
+use vrcache::goodman::GoodmanHierarchy;
+use vrcache::rr::{InclusionMode, RrHierarchy};
+use vrcache::vr::VrHierarchy;
+use vrcache_mem::access::CpuId;
+
+use crate::harness::{self, FaultTarget, Outcome, RunResult};
+
+/// A hierarchy organization under injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Org {
+    /// The paper's virtual-real hierarchy.
+    Vr,
+    /// The real-real baseline with inclusion.
+    RrInclusive,
+    /// The real-real baseline without inclusion.
+    RrNonInclusive,
+    /// Goodman's single-level dual-tag virtual cache.
+    Goodman,
+}
+
+impl Org {
+    /// Every organization, in report order.
+    pub const ALL: [Org; 4] = [Org::Vr, Org::RrInclusive, Org::RrNonInclusive, Org::Goodman];
+
+    /// Stable kebab-case label used in row ids.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Org::Vr => "vr",
+            Org::RrInclusive => "rr-incl",
+            Org::RrNonInclusive => "rr-noincl",
+            Org::Goodman => "goodman",
+        }
+    }
+
+    /// Builds one processor's hierarchy of this organization.
+    pub(crate) fn build(self, cpu: CpuId, cfg: &HierarchyConfig) -> Box<dyn FaultTarget> {
+        match self {
+            Org::Vr => Box::new(VrHierarchy::new(cpu, cfg)),
+            Org::RrInclusive => Box::new(RrHierarchy::new(cpu, cfg, InclusionMode::Inclusive)),
+            Org::RrNonInclusive => {
+                Box::new(RrHierarchy::new(cpu, cfg, InclusionMode::NonInclusive))
+            }
+            Org::Goodman => Box::new(GoodmanHierarchy::new(cpu, cfg)),
+        }
+    }
+}
+
+impl std::fmt::Display for Org {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One injection to run: everything that makes its row id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spec {
+    /// The organization under test.
+    pub org: Org,
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// Index of the injection point within the campaign's point list
+    /// (stable in ids even if point positions are retuned).
+    pub point_idx: usize,
+    /// Event index at which the fault is injected/armed.
+    pub point: u64,
+    /// Workload seed, doubling as the injection's target-selection seed.
+    pub seed: u64,
+    /// Whether parity detection + recovery is enabled.
+    pub parity: bool,
+}
+
+impl Spec {
+    /// The stable row id: `<org>/<kind>/pt<idx>/s<seed>/par=<on|off>`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/pt{}/s{}/par={}",
+            self.org.label(),
+            self.kind.label(),
+            self.point_idx,
+            self.seed,
+            if self.parity { "on" } else { "off" }
+        )
+    }
+
+    /// The hierarchy configuration every campaign run uses: small caches
+    /// relative to the workload footprint (evictions, write-buffer
+    /// pressure), a 4-deep write buffer with a lazy drain so pending
+    /// writes linger long enough to be injection targets.
+    pub fn config(&self) -> HierarchyConfig {
+        let cfg = HierarchyConfig::direct_mapped(256, 4096, 16)
+            .expect("static campaign geometry is valid")
+            .with_write_buffer(4)
+            .with_drain_period(8);
+        if self.parity {
+            cfg.with_parity()
+        } else {
+            cfg
+        }
+    }
+}
+
+/// One classified campaign row.
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// What was run.
+    pub spec: Spec,
+    /// How it ended.
+    pub result: RunResult,
+}
+
+impl CampaignRow {
+    /// The row's stable id.
+    pub fn id(&self) -> String {
+        self.spec.id()
+    }
+}
+
+/// A fully enumerated campaign, ready to run.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Campaign name ("smoke" or "full"), echoed in the report header.
+    pub name: &'static str,
+    /// Every injection, in enumeration order.
+    pub specs: Vec<Spec>,
+}
+
+/// Builds the spec cross product for the given points and seeds.
+fn enumerate(name: &'static str, points: &[u64], seeds: &[u64]) -> Campaign {
+    let mut specs = Vec::new();
+    for org in Org::ALL {
+        for kind in FaultKind::ALL {
+            for (point_idx, &point) in points.iter().enumerate() {
+                for &seed in seeds {
+                    for parity in [true, false] {
+                        specs.push(Spec {
+                            org,
+                            kind,
+                            point_idx,
+                            point,
+                            seed,
+                            parity,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Campaign { name, specs }
+}
+
+impl Campaign {
+    /// The CI-sized campaign: one injection point mid-warm-phase, one
+    /// seed — 13 kinds × 4 organizations × 2 parity settings = 104 runs.
+    ///
+    /// Point 64 lands immediately before a sharing beat's write, while
+    /// the hot line is Shared on CPU 0 — the window where a
+    /// coherence-state flip grants bogus exclusivity to a line that is
+    /// about to be written.
+    pub fn smoke() -> Campaign {
+        enumerate("smoke", &[64], &[1])
+    }
+
+    /// The exhaustive campaign: three injection points (mid-warm-phase
+    /// in a sharing-beat window, just after the context switch, and the
+    /// matching beat window deep in the second half) and two seeds.
+    pub fn full() -> Campaign {
+        enumerate("full", &[64, 140, 196], &[1, 2])
+    }
+
+    /// Runs every spec whose id contains `filter` (all when empty),
+    /// calling `progress` after each run.
+    pub fn run<F: FnMut(&CampaignRow)>(&self, filter: &str, mut progress: F) -> CampaignResult {
+        let mut rows = Vec::new();
+        for spec in &self.specs {
+            if !filter.is_empty() && !spec.id().contains(filter) {
+                continue;
+            }
+            let row = CampaignRow {
+                spec: *spec,
+                result: harness::run(spec),
+            };
+            progress(&row);
+            rows.push(row);
+        }
+        CampaignResult {
+            name: self.name,
+            rows,
+        }
+    }
+}
+
+/// The classified rows of one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The campaign that produced these rows.
+    pub name: &'static str,
+    /// One row per executed spec, in enumeration order.
+    pub rows: Vec<CampaignRow>,
+}
+
+impl CampaignResult {
+    /// Row count per outcome, in [`Outcome::ALL`] order.
+    pub fn counts(&self) -> [(Outcome, u64); 5] {
+        let mut counts = Outcome::ALL.map(|o| (o, 0));
+        for row in &self.rows {
+            for entry in counts.iter_mut() {
+                if entry.0 == row.result.outcome {
+                    entry.1 += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Ids of silent-data-corruption rows, optionally restricted to one
+    /// parity setting, sorted.
+    pub fn sdc_ids(&self, parity: Option<bool>) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .rows
+            .iter()
+            .filter(|r| r.result.outcome == Outcome::Sdc)
+            .filter(|r| parity.is_none_or(|p| r.spec.parity == p))
+            .map(|r| r.id())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Fault kinds that never found a live target anywhere in the
+    /// campaign — every kind must corrupt something at least once for
+    /// the sweep to mean anything.
+    pub fn unexercised_kinds(&self) -> Vec<FaultKind> {
+        FaultKind::ALL
+            .into_iter()
+            .filter(|&k| {
+                !self
+                    .rows
+                    .iter()
+                    .any(|r| r.spec.kind == k && r.result.outcome != Outcome::NotApplicable)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_enumerates_the_cross_product() {
+        let c = Campaign::smoke();
+        assert_eq!(c.specs.len(), 13 * 4 * 2);
+        let ids: std::collections::BTreeSet<String> = c.specs.iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), c.specs.len(), "ids are unique");
+        assert!(ids.contains("vr/v-tag-flip/pt0/s1/par=on"));
+        assert!(ids.contains("goodman/bus-lost-invalidate/pt0/s1/par=off"));
+    }
+
+    #[test]
+    fn full_is_a_superset_shape() {
+        let c = Campaign::full();
+        assert_eq!(c.specs.len(), 13 * 4 * 3 * 2 * 2);
+    }
+
+    #[test]
+    fn filter_restricts_runs() {
+        let result = Campaign::smoke().run("vr/tlb-entry-flip", |_| {});
+        assert_eq!(result.rows.len(), 2, "par=on and par=off");
+        assert!(result
+            .rows
+            .iter()
+            .all(|r| r.id().contains("tlb-entry-flip")));
+    }
+}

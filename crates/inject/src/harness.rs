@@ -1,0 +1,430 @@
+//! One injection, end to end: build a two-CPU system, replay the
+//! workload, corrupt state at the chosen point, classify what happened.
+//!
+//! Structural kinds go through [`FaultPort`] between two events;
+//! bus-level kinds are armed at [`FaultyBus`], a [`SystemBus`] wrapper
+//! that corrupts the next applicable transaction in flight. The replay
+//! runs under `catch_unwind` so an assertion or invariant panic is
+//! classified (detected-fatal: the model failed loudly) instead of
+//! killing the campaign.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use vrcache::bus_api::{BusRequest, BusResponse, SystemBus};
+use vrcache::fault::{FaultKind, FaultPort, FaultRecord};
+use vrcache::hierarchy::CacheHierarchy;
+use vrcache_bus::memory::MainMemory;
+use vrcache_bus::oracle::{Version, VersionOracle};
+use vrcache_bus::retry::{NackStats, RetryPolicy};
+use vrcache_bus::stats::BusStats;
+use vrcache_sim::snoop::SnoopingBus;
+use vrcache_trace::record::TraceEvent;
+
+use crate::campaign::Spec;
+use crate::workload;
+
+/// A hierarchy the harness can both drive and corrupt.
+///
+/// Blanket-implemented for every [`CacheHierarchy`] that also exposes a
+/// [`FaultPort`] — the trait object `dyn FaultTarget` carries both
+/// vtables, so the same boxed hierarchy rides the snooping bus *and*
+/// takes injections.
+pub trait FaultTarget: CacheHierarchy + FaultPort {}
+
+impl<T: CacheHierarchy + FaultPort> FaultTarget for T {}
+
+/// How one injection ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Outcome {
+    /// The corruption was never consumed (dead state, or re-derived
+    /// before use): run completed, nothing noticed, oracle satisfied.
+    Masked,
+    /// Parity or a bus NACK fired and the run still completed with no
+    /// stale read.
+    DetectedRecovered,
+    /// The fault was noticed but the run could not continue correctly:
+    /// a machine check, a panic, or a stale read after detection.
+    DetectedFatal,
+    /// A stale read with zero detection events — silent data
+    /// corruption.
+    Sdc,
+    /// The organization had no live target for this kind at the chosen
+    /// point (or an armed bus fault saw no applicable transaction).
+    NotApplicable,
+}
+
+impl Outcome {
+    /// Every outcome, in report-count order.
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Masked,
+        Outcome::DetectedRecovered,
+        Outcome::DetectedFatal,
+        Outcome::Sdc,
+        Outcome::NotApplicable,
+    ];
+
+    /// Stable report label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::DetectedRecovered => "detected-recovered",
+            Outcome::DetectedFatal => "detected-fatal",
+            Outcome::Sdc => "sdc",
+            Outcome::NotApplicable => "not-applicable",
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The classified result of one injection.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The classification.
+    pub outcome: Outcome,
+    /// What the injection corrupted (`None` iff not applicable).
+    pub applied: Option<FaultRecord>,
+    /// Total detection events: parity refetches + machine checks + bus
+    /// NACKs.
+    pub detections: u64,
+    /// One-line, newline-free, deterministic narrative for the report.
+    pub detail: String,
+}
+
+/// Bus-fault arming state, shared across every transaction of a run.
+struct BusFaultState {
+    armed: Option<FaultKind>,
+    /// Detect-and-retry enabled (tied to the parity setting of the run).
+    recovery: bool,
+    policy: RetryPolicy,
+    nacks: NackStats,
+    fired: Option<FaultRecord>,
+    subblocks: u32,
+}
+
+impl BusFaultState {
+    fn new(recovery: bool, subblocks: u32) -> BusFaultState {
+        BusFaultState {
+            armed: None,
+            recovery,
+            policy: RetryPolicy::default(),
+            nacks: NackStats::default(),
+            fired: None,
+            subblocks,
+        }
+    }
+}
+
+fn request_label(request: &BusRequest) -> &'static str {
+    match request {
+        BusRequest::ReadMiss { .. } => "read-miss",
+        BusRequest::ReadModifiedWrite { .. } => "read-modified-write",
+        BusRequest::Invalidate { .. } => "invalidate",
+        BusRequest::WriteBack { .. } => "write-back",
+        BusRequest::Update { .. } => "update",
+    }
+}
+
+fn request_block(request: &BusRequest) -> u64 {
+    match request {
+        BusRequest::ReadMiss { block, .. }
+        | BusRequest::ReadModifiedWrite { block, .. }
+        | BusRequest::Invalidate { block }
+        | BusRequest::WriteBack { block, .. }
+        | BusRequest::Update { block, .. } => block.raw(),
+    }
+}
+
+/// What the issuer sees when its transaction was dropped without
+/// recovery: a fabricated "nobody shared, memory at rest" response —
+/// exactly the stale view a lost bus grant would produce.
+fn fabricated_response(request: &BusRequest, subblocks: u32) -> BusResponse {
+    match request {
+        BusRequest::ReadMiss { .. } | BusRequest::ReadModifiedWrite { .. } => BusResponse {
+            shared_elsewhere: false,
+            granule_versions: vec![Version::INITIAL; subblocks as usize],
+        },
+        _ => BusResponse::default(),
+    }
+}
+
+/// A [`SystemBus`] wrapper that applies an armed bus-level fault to the
+/// next applicable transaction. With recovery on, the fault surfaces as
+/// a NACK and the transaction is retried (forwarded intact); with
+/// recovery off, the corruption reaches the system.
+struct FaultyBus<'a, 'b> {
+    inner: &'a mut SnoopingBus<'b, dyn FaultTarget>,
+    state: &'a mut BusFaultState,
+}
+
+impl SystemBus for FaultyBus<'_, '_> {
+    fn issue(&mut self, request: BusRequest) -> BusResponse {
+        let applies = match self.state.armed {
+            Some(FaultKind::BusDropTxn) | Some(FaultKind::BusDuplicateTxn) => true,
+            Some(FaultKind::BusLostInvalidate) => {
+                matches!(request, BusRequest::Invalidate { .. })
+            }
+            _ => false,
+        };
+        if !applies {
+            return self.inner.issue(request);
+        }
+        let kind = self.state.armed.take().expect("applies implies armed");
+        self.state.fired = Some(FaultRecord {
+            kind,
+            detail: format!(
+                "{} on {} for block {:#x}",
+                kind.label(),
+                request_label(&request),
+                request_block(&request)
+            ),
+        });
+        if self.state.recovery {
+            // The bus detects the mangled transaction, NACKs it, and the
+            // issuer retries; the retry goes through intact.
+            let _ = self.state.nacks.nack_and_retry(self.state.policy, 0);
+            return self.inner.issue(request);
+        }
+        match kind {
+            FaultKind::BusDropTxn => fabricated_response(&request, self.state.subblocks),
+            FaultKind::BusDuplicateTxn => {
+                let second = request.clone();
+                let _ = self.inner.issue(request);
+                self.inner.issue(second)
+            }
+            // Lost invalidation: the issuer believes it was delivered;
+            // no snooper hears it.
+            _ => BusResponse::default(),
+        }
+    }
+}
+
+/// Everything the replay records that must survive a panic: the closure
+/// updates this after every event, so classification works even when an
+/// assertion killed the run halfway through.
+#[derive(Default)]
+struct Observations {
+    /// `Some(port_result)` once the structural injection was attempted.
+    injected: Option<Option<FaultRecord>>,
+    refetches: u64,
+    machine_checks: u64,
+    violation: Option<String>,
+    completed: bool,
+}
+
+fn tally_parity(hs: &[Option<Box<dyn FaultTarget>>]) -> (u64, u64) {
+    let mut refetches = 0;
+    let mut machine_checks = 0;
+    for h in hs.iter().flatten() {
+        let e = h.events();
+        refetches += e.parity_refetches;
+        machine_checks += e.parity_machine_checks;
+    }
+    (refetches, machine_checks)
+}
+
+fn one_line(s: &str) -> String {
+    s.replace('\n', "; ")
+}
+
+/// Number of processors every campaign system has.
+pub const CPUS: u16 = 2;
+
+/// Runs one injection to completion and classifies it.
+pub fn run(spec: &Spec) -> RunResult {
+    let cfg = spec.config();
+    let subblocks = cfg.subblocks();
+    let events = workload::build(spec.seed);
+
+    let mut obs = Observations::default();
+    let mut bus_state = BusFaultState::new(spec.parity, subblocks);
+
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let mut hs: Vec<Option<Box<dyn FaultTarget>>> = (0..CPUS)
+            .map(|c| Some(spec.org.build(vrcache_mem::access::CpuId::new(c), &cfg)))
+            .collect();
+        let mut memory = MainMemory::new();
+        let mut oracle = VersionOracle::new();
+        let mut stats = BusStats::default();
+
+        for (i, event) in events.iter().enumerate() {
+            if i as u64 == spec.point {
+                if spec.kind.is_bus_level() {
+                    bus_state.armed = Some(spec.kind);
+                } else {
+                    let record = hs[0]
+                        .as_mut()
+                        .expect("hierarchy present between events")
+                        .inject_fault(spec.kind, spec.seed);
+                    obs.injected = Some(record);
+                    // No live target here: the run is not-applicable and
+                    // there is nothing left to observe.
+                    if obs.injected == Some(None) {
+                        return;
+                    }
+                }
+            }
+            match event {
+                TraceEvent::Access(a) => {
+                    let idx = a.cpu.index();
+                    let mut h = hs[idx].take().expect("not reentrant");
+                    let result = {
+                        let mut inner =
+                            SnoopingBus::new(a.cpu, &mut hs, &mut memory, &mut stats, subblocks);
+                        let mut bus = FaultyBus {
+                            inner: &mut inner,
+                            state: &mut bus_state,
+                        };
+                        h.access(a, &mut bus, &mut oracle)
+                    };
+                    hs[idx] = Some(h);
+                    let (refetches, machine_checks) = tally_parity(&hs);
+                    obs.refetches = refetches;
+                    obs.machine_checks = machine_checks;
+                    if let Err(v) = result {
+                        obs.violation = Some(v.to_string());
+                        return;
+                    }
+                    // A machine check halts the processor: graceful
+                    // degradation, but the run is over.
+                    if machine_checks > 0 {
+                        return;
+                    }
+                }
+                TraceEvent::ContextSwitch { cpu, from, to } => {
+                    hs[cpu.index()]
+                        .as_mut()
+                        .expect("not reentrant")
+                        .context_switch(*from, *to);
+                    let (refetches, machine_checks) = tally_parity(&hs);
+                    obs.refetches = refetches;
+                    obs.machine_checks = machine_checks;
+                    if machine_checks > 0 {
+                        return;
+                    }
+                }
+            }
+        }
+        obs.completed = true;
+    }));
+
+    let panic_msg = match caught {
+        Ok(()) => None,
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string()),
+        ),
+    };
+
+    let applied = if spec.kind.is_bus_level() {
+        bus_state.fired.clone()
+    } else {
+        obs.injected.clone().flatten()
+    };
+    let detections = obs.refetches + obs.machine_checks + bus_state.nacks.nacks;
+
+    let (outcome, detail) = if applied.is_none() {
+        (Outcome::NotApplicable, "no live target".to_string())
+    } else if let Some(msg) = panic_msg {
+        (Outcome::DetectedFatal, format!("panic: {}", one_line(&msg)))
+    } else if obs.machine_checks > 0 {
+        (
+            Outcome::DetectedFatal,
+            format!("machine check ({} detections)", detections),
+        )
+    } else if let Some(v) = obs.violation {
+        if detections > 0 {
+            (
+                Outcome::DetectedFatal,
+                format!("stale read after detection: {}", one_line(&v)),
+            )
+        } else {
+            (Outcome::Sdc, format!("stale read: {}", one_line(&v)))
+        }
+    } else if detections > 0 {
+        (
+            Outcome::DetectedRecovered,
+            format!("{} detections, clean completion", detections),
+        )
+    } else {
+        (Outcome::Masked, "clean completion".to_string())
+    };
+
+    let detail = match &applied {
+        Some(record) => format!("{} [{}]", detail, one_line(&record.detail)),
+        None => detail,
+    };
+
+    RunResult {
+        outcome,
+        applied,
+        detections,
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Org;
+
+    fn spec(org: Org, kind: FaultKind, parity: bool) -> Spec {
+        Spec {
+            org,
+            kind,
+            point_idx: 0,
+            point: 60,
+            seed: 1,
+            parity,
+        }
+    }
+
+    #[test]
+    fn parity_on_v_tag_flip_is_detected() {
+        let r = run(&spec(Org::Vr, FaultKind::VTagFlip, true));
+        assert!(r.applied.is_some(), "a warm V-cache has tag targets");
+        assert!(
+            matches!(
+                r.outcome,
+                Outcome::DetectedRecovered | Outcome::DetectedFatal
+            ),
+            "{:?}: {}",
+            r.outcome,
+            r.detail
+        );
+        assert!(r.detections > 0);
+    }
+
+    #[test]
+    fn parity_on_bus_drop_recovers_via_nack() {
+        let r = run(&spec(Org::Vr, FaultKind::BusDropTxn, true));
+        assert!(r.applied.is_some(), "the workload issues bus traffic");
+        assert_eq!(r.outcome, Outcome::DetectedRecovered, "{}", r.detail);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        for kind in [FaultKind::VTagFlip, FaultKind::BusDropTxn] {
+            let s = spec(Org::Vr, kind, true);
+            let a = run(&s);
+            let b = run(&s);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.detail, b.detail);
+        }
+    }
+
+    #[test]
+    fn structure_less_kind_is_not_applicable() {
+        // Goodman has no write buffer at all.
+        let r = run(&spec(Org::Goodman, FaultKind::WriteBufferDrop, true));
+        assert_eq!(r.outcome, Outcome::NotApplicable);
+        assert!(r.applied.is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! Byte-deterministic campaign report rendering.
+//!
+//! Two consecutive runs of the same campaign on the same build must
+//! produce identical bytes: rows are sorted by id, counts are derived
+//! from the rows, and no timestamps or environment data appear.
+
+use crate::campaign::CampaignResult;
+
+/// Renders the report: a commented header with per-outcome counts, then
+/// one `<id> <outcome> — <detail>` line per row, sorted by id.
+pub fn render(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# injection campaign: {}\n", result.name));
+    out.push_str(&format!("# runs: {}\n", result.rows.len()));
+    for (outcome, count) in result.counts() {
+        out.push_str(&format!("# {}: {}\n", outcome.label(), count));
+    }
+    let mut lines: Vec<String> = result
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{} {} — {}\n",
+                r.id(),
+                r.result.outcome.label(),
+                r.result.detail
+            )
+        })
+        .collect();
+    lines.sort();
+    for line in lines {
+        out.push_str(&line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+
+    #[test]
+    fn report_is_sorted_and_deterministic() {
+        let campaign = Campaign::smoke();
+        let a = render(&campaign.run("vr/v-state-flip", |_| {}));
+        let b = render(&campaign.run("vr/v-state-flip", |_| {}));
+        assert_eq!(a, b, "same campaign, same bytes");
+        let rows: Vec<&str> = a.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(rows.len(), 2);
+        let mut sorted = rows.clone();
+        sorted.sort();
+        assert_eq!(rows, sorted);
+        assert!(a.starts_with("# injection campaign: smoke\n# runs: 2\n"));
+    }
+}

@@ -343,6 +343,28 @@ impl Tlb {
     pub fn valid_entries(&self) -> usize {
         self.entries.iter().filter(|e| e.valid).count()
     }
+
+    /// Fault-injection hook: corrupts one valid entry's translation by
+    /// flipping the low bit of its PPN, deterministically selected by
+    /// `seed` over the valid entries in index order. Returns the `(asid,
+    /// vpn)` key of the corrupted entry — the handle a parity scrubber
+    /// needs to flush it — or `None` when the TLB is empty.
+    pub fn corrupt_entry(&mut self, seed: u64) -> Option<(Asid, Vpn)> {
+        let valid: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid)
+            .map(|(i, _)| i)
+            .collect();
+        if valid.is_empty() {
+            return None;
+        }
+        let idx = valid[(seed % valid.len() as u64) as usize];
+        let e = &mut self.entries[idx];
+        e.ppn = Ppn::new(e.ppn.raw() ^ 1);
+        Some((e.asid, e.vpn))
+    }
 }
 
 #[cfg(test)]
@@ -476,6 +498,22 @@ mod tests {
         assert_eq!(s.lookups(), 4);
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
         assert!(s.to_string().contains("0.7500"));
+    }
+
+    #[test]
+    fn corrupt_entry_flips_a_translation_deterministically() {
+        let mut t = tlb(8, 2);
+        assert_eq!(t.corrupt_entry(0), None, "empty tlb has nothing to flip");
+        t.fill(Asid::new(1), Vpn::new(1), Ppn::new(0x10));
+        t.fill(Asid::new(1), Vpn::new(2), Ppn::new(0x20));
+        let key = t.corrupt_entry(7).unwrap();
+        let wrong = t.peek(key.0, key.1).unwrap();
+        assert_eq!(wrong.raw() & 1, 1, "low ppn bit flipped");
+        // Same seed on an identically-built TLB picks the same victim.
+        let mut u = tlb(8, 2);
+        u.fill(Asid::new(1), Vpn::new(1), Ppn::new(0x10));
+        u.fill(Asid::new(1), Vpn::new(2), Ppn::new(0x20));
+        assert_eq!(u.corrupt_entry(7).unwrap(), key);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use vrcache_mem::access::AccessKind;
 use vrcache_mem::addr::{Asid, VirtAddr};
 
 use super::zipf::Zipf;
-use super::WorkloadConfig;
+use super::{SynthConfigError, WorkloadConfig};
 
 /// Virtual-memory layout of one process.
 ///
@@ -70,13 +70,16 @@ pub struct CallBurstWeights {
 impl CallBurstWeights {
     /// Builds a distribution from `(writes_per_call, weight)` pairs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `entries` is empty or all weights are zero.
-    pub fn new(entries: Vec<(u32, u64)>) -> Self {
+    /// Returns [`SynthConfigError::EmptyBurstWeights`] if `entries` is
+    /// empty or all weights are zero.
+    pub fn new(entries: Vec<(u32, u64)>) -> Result<Self, SynthConfigError> {
         let total: u64 = entries.iter().map(|(_, w)| w).sum();
-        assert!(total > 0, "call burst weights must not all be zero");
-        CallBurstWeights { entries, total }
+        if total == 0 {
+            return Err(SynthConfigError::EmptyBurstWeights);
+        }
+        Ok(CallBurstWeights { entries, total })
     }
 
     /// Samples a burst length.
@@ -95,6 +98,12 @@ impl CallBurstWeights {
 impl Default for CallBurstWeights {
     fn default() -> Self {
         // Shape of the paper's Table 1 (counts scaled down).
+        CallBurstWeights::try_default().expect("static table has positive weights")
+    }
+}
+
+impl CallBurstWeights {
+    fn try_default() -> Result<Self, SynthConfigError> {
         CallBurstWeights::new(vec![
             (1, 3),
             (2, 2),
@@ -161,25 +170,29 @@ pub struct ProcessEngine {
 impl ProcessEngine {
     /// Creates an engine for `asid`, seeded deterministically from the
     /// workload seed and the ASID.
-    pub fn new(cfg: &WorkloadConfig, asid: Asid) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthConfigError`] if a Zipf exponent or the custom
+    /// call-burst distribution in `cfg` is invalid.
+    pub fn new(cfg: &WorkloadConfig, asid: Asid) -> Result<Self, SynthConfigError> {
         let layout = ProcessLayout::for_asid(asid);
         let seed = cfg
             .seed
             .wrapping_mul(0x1000_0000_01B3)
             .wrapping_add(asid.raw() as u64 + 1);
         let shared_words = cfg.shared_pages as u64 * cfg.page_size.bytes() / WORD_BYTES;
-        ProcessEngine {
+        Ok(ProcessEngine {
             asid,
             rng: StdRng::seed_from_u64(seed),
             layout,
-            func_zipf: Zipf::new(cfg.code_funcs.max(1) as u64, cfg.func_zipf_s),
-            hot_zipf: Zipf::new(cfg.hot_words.max(1) as u64, cfg.hot_zipf_s),
-            shared_zipf: Zipf::new(shared_words.max(1), cfg.shared_zipf_s),
-            burst: cfg
-                .call_burst_weights
-                .as_ref()
-                .map(|w| CallBurstWeights::new(w.clone()))
-                .unwrap_or_default(),
+            func_zipf: Zipf::new(cfg.code_funcs.max(1) as u64, cfg.func_zipf_s)?,
+            hot_zipf: Zipf::new(cfg.hot_words.max(1) as u64, cfg.hot_zipf_s)?,
+            shared_zipf: Zipf::new(shared_words.max(1), cfg.shared_zipf_s)?,
+            burst: match cfg.call_burst_weights.as_ref() {
+                Some(w) => CallBurstWeights::new(w.clone())?,
+                None => CallBurstWeights::default(),
+            },
             pc: layout.code_base,
             func_base: layout.code_base,
             call_stack: Vec::new(),
@@ -195,7 +208,7 @@ impl ProcessEngine {
             queue: VecDeque::new(),
             cfg: cfg.clone(),
             call_write_hist: BTreeMap::new(),
-        }
+        })
     }
 
     /// The process this engine models.
@@ -403,7 +416,7 @@ mod tests {
     }
 
     fn run_engine(cfg: &WorkloadConfig, n: usize) -> Vec<(AccessKind, VirtAddr)> {
-        let mut e = ProcessEngine::new(cfg, Asid::new(1));
+        let mut e = ProcessEngine::new(cfg, Asid::new(1)).unwrap();
         (0..n).map(|_| e.next_ref()).collect()
     }
 
@@ -427,9 +440,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must not all be zero")]
-    fn empty_burst_weights_panic() {
-        let _ = CallBurstWeights::new(vec![]);
+    fn empty_burst_weights_is_typed_error() {
+        assert_eq!(
+            CallBurstWeights::new(vec![]).unwrap_err(),
+            SynthConfigError::EmptyBurstWeights
+        );
+        assert_eq!(
+            CallBurstWeights::new(vec![(4, 0), (8, 0)]).unwrap_err(),
+            SynthConfigError::EmptyBurstWeights
+        );
+    }
+
+    #[test]
+    fn bad_engine_config_is_typed_error() {
+        let mut cfg = small_cfg();
+        cfg.func_zipf_s = -1.0;
+        assert!(matches!(
+            ProcessEngine::new(&cfg, Asid::new(1)),
+            Err(SynthConfigError::ZipfBadTheta(_))
+        ));
+        let mut cfg = small_cfg();
+        cfg.call_burst_weights = Some(vec![]);
+        assert_eq!(
+            ProcessEngine::new(&cfg, Asid::new(1)).unwrap_err(),
+            SynthConfigError::EmptyBurstWeights
+        );
     }
 
     #[test]
@@ -465,7 +500,7 @@ mod tests {
     fn emits_call_bursts() {
         let mut cfg = small_cfg();
         cfg.p_call = 0.05; // force frequent calls
-        let mut e = ProcessEngine::new(&cfg, Asid::new(3));
+        let mut e = ProcessEngine::new(&cfg, Asid::new(3)).unwrap();
         for _ in 0..20_000 {
             e.next_ref();
         }
@@ -484,7 +519,7 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.p_call = 0.05;
         cfg.call_burst_weights = Some(vec![(3, 1)]); // every call saves 3
-        let mut e = ProcessEngine::new(&cfg, Asid::new(4));
+        let mut e = ProcessEngine::new(&cfg, Asid::new(4)).unwrap();
         for _ in 0..10_000 {
             e.next_ref();
         }

@@ -9,7 +9,7 @@ use vrcache_mem::addr::{Asid, Ppn, VirtAddr};
 use vrcache_mem::page_table::MemoryMap;
 
 use super::engine::{ProcessEngine, ProcessLayout};
-use super::WorkloadConfig;
+use super::{SynthConfigError, WorkloadConfig};
 use crate::record::{MemAccess, TraceEvent};
 use crate::trace::Trace;
 
@@ -27,8 +27,22 @@ pub struct GenerationReport {
 
 /// Generates a trace from `cfg`. See [`generate_with_report`] for the
 /// variant that also returns generation ground truth.
+///
+/// # Panics
+///
+/// Panics on an invalid config; see [`try_generate`] for the fallible
+/// form.
 pub fn generate(cfg: &WorkloadConfig) -> Trace {
     generate_with_report(cfg).0
+}
+
+/// Fallible form of [`generate`].
+///
+/// # Errors
+///
+/// Returns a [`SynthConfigError`] describing the first invalid field.
+pub fn try_generate(cfg: &WorkloadConfig) -> Result<Trace, SynthConfigError> {
+    Ok(try_generate_with_report(cfg)?.0)
 }
 
 /// Generates a trace and its [`GenerationReport`].
@@ -36,18 +50,37 @@ pub fn generate(cfg: &WorkloadConfig) -> Trace {
 /// # Panics
 ///
 /// Panics if `cfg.cpus`, `cfg.processes_per_cpu` or `cfg.total_refs` is
-/// zero, or if `cfg.shared_pages` is zero while `cfg.p_shared > 0`.
+/// zero, if `cfg.shared_pages` is zero while `cfg.p_shared > 0`, or if
+/// a Zipf exponent or custom burst distribution is invalid; see
+/// [`try_generate_with_report`] for the fallible form.
 pub fn generate_with_report(cfg: &WorkloadConfig) -> (Trace, GenerationReport) {
-    assert!(cfg.cpus > 0, "need at least one cpu");
-    assert!(
-        cfg.processes_per_cpu > 0,
-        "need at least one process per cpu"
-    );
-    assert!(cfg.total_refs > 0, "need at least one reference");
-    assert!(
-        cfg.p_shared == 0.0 || cfg.shared_pages > 0,
-        "shared accesses configured but shared_pages is zero"
-    );
+    try_generate_with_report(cfg).expect("valid workload config")
+}
+
+/// Fallible form of [`generate_with_report`].
+///
+/// # Errors
+///
+/// Returns [`SynthConfigError::ZeroCpus`], [`SynthConfigError::ZeroProcesses`]
+/// or [`SynthConfigError::ZeroRefs`] for zero volume parameters,
+/// [`SynthConfigError::SharedPagesZero`] when shared accesses are configured
+/// without a shared segment, and propagates the per-process engine's
+/// Zipf/burst validation errors.
+pub fn try_generate_with_report(
+    cfg: &WorkloadConfig,
+) -> Result<(Trace, GenerationReport), SynthConfigError> {
+    if cfg.cpus == 0 {
+        return Err(SynthConfigError::ZeroCpus);
+    }
+    if cfg.processes_per_cpu == 0 {
+        return Err(SynthConfigError::ZeroProcesses);
+    }
+    if cfg.total_refs == 0 {
+        return Err(SynthConfigError::ZeroRefs);
+    }
+    if cfg.p_shared != 0.0 && cfg.shared_pages == 0 {
+        return Err(SynthConfigError::SharedPagesZero);
+    }
 
     let page = cfg.page_size;
     let mut map = MemoryMap::new(page);
@@ -76,7 +109,7 @@ pub fn generate_with_report(cfg: &WorkloadConfig) -> (Trace, GenerationReport) {
                 map.alias(asid, VirtAddr::new(layout.shared_alias_base + off), *ppn)
                     .expect("synonym alias maps once per process");
             }
-            per_cpu.push(ProcessEngine::new(cfg, asid));
+            per_cpu.push(ProcessEngine::new(cfg, asid)?);
         }
         engines.push(per_cpu);
     }
@@ -167,7 +200,7 @@ pub fn generate_with_report(cfg: &WorkloadConfig) -> (Trace, GenerationReport) {
         }
     }
 
-    (Trace::new(cfg.name.clone(), cfg.cpus, page, events), report)
+    Ok((Trace::new(cfg.name.clone(), cfg.cpus, page, events), report))
 }
 
 #[cfg(test)]
@@ -326,8 +359,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one cpu")]
-    fn zero_cpus_panics() {
-        let _ = generate(&cfg(100, 0, 0));
+    fn invalid_configs_are_typed_errors() {
+        assert_eq!(
+            try_generate(&cfg(100, 0, 0)).unwrap_err(),
+            SynthConfigError::ZeroCpus
+        );
+        assert_eq!(
+            try_generate(&cfg(0, 2, 0)).unwrap_err(),
+            SynthConfigError::ZeroRefs
+        );
+        let mut c = cfg(100, 1, 0);
+        c.processes_per_cpu = 0;
+        assert_eq!(
+            try_generate(&c).unwrap_err(),
+            SynthConfigError::ZeroProcesses
+        );
+        let mut c = cfg(100, 1, 0);
+        c.shared_pages = 0;
+        c.p_shared = 0.1;
+        assert_eq!(
+            try_generate(&c).unwrap_err(),
+            SynthConfigError::SharedPagesZero
+        );
+        let mut c = cfg(100, 1, 0);
+        c.hot_zipf_s = f64::NAN;
+        assert!(matches!(
+            try_generate(&c).unwrap_err(),
+            SynthConfigError::ZipfBadTheta(_)
+        ));
+    }
+
+    #[test]
+    fn try_generate_matches_generate() {
+        let c = cfg(2_000, 2, 2);
+        assert_eq!(try_generate(&c).unwrap().events(), generate(&c).events());
     }
 }

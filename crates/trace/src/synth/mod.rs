@@ -27,11 +27,69 @@ mod generator;
 mod zipf;
 
 pub use engine::{CallBurstWeights, ProcessEngine, ProcessLayout};
-pub use generator::{generate, generate_with_report, GenerationReport};
+pub use generator::{
+    generate, generate_with_report, try_generate, try_generate_with_report, GenerationReport,
+};
 pub use zipf::Zipf;
+
+use core::fmt;
 
 use serde::{Deserialize, Serialize};
 use vrcache_mem::page::PageSize;
+
+/// Errors from validating synthesis parameters.
+///
+/// Returned by the fallible constructors ([`Zipf::new`],
+/// [`CallBurstWeights::new`], [`ProcessEngine::new`]) and generation
+/// entry points ([`try_generate`], [`try_generate_with_report`],
+/// [`WorkloadConfig::try_scaled`]); the panicking convenience wrappers
+/// ([`generate`], [`WorkloadConfig::scaled`]) surface the same
+/// conditions as documented panics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthConfigError {
+    /// A Zipf sampler was asked for zero items.
+    ZipfNoItems,
+    /// A Zipf exponent was negative or non-finite.
+    ZipfBadTheta(f64),
+    /// The writes-per-call distribution was empty or all-zero-weight.
+    EmptyBurstWeights,
+    /// `cpus` was zero.
+    ZeroCpus,
+    /// `processes_per_cpu` was zero.
+    ZeroProcesses,
+    /// `total_refs` was zero.
+    ZeroRefs,
+    /// `p_shared > 0` but `shared_pages == 0`.
+    SharedPagesZero,
+    /// A volume scale factor was not finite and positive.
+    BadScaleFactor(f64),
+}
+
+impl fmt::Display for SynthConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthConfigError::ZipfNoItems => write!(f, "zipf needs at least one item"),
+            SynthConfigError::ZipfBadTheta(t) => {
+                write!(f, "zipf theta must be finite and >= 0, got {t}")
+            }
+            SynthConfigError::EmptyBurstWeights => {
+                write!(f, "call burst weights must not all be zero")
+            }
+            SynthConfigError::ZeroCpus => write!(f, "need at least one cpu"),
+            SynthConfigError::ZeroProcesses => write!(f, "need at least one process per cpu"),
+            SynthConfigError::ZeroRefs => write!(f, "need at least one reference"),
+            SynthConfigError::SharedPagesZero => {
+                write!(f, "shared accesses configured but shared_pages is zero")
+            }
+            SynthConfigError::BadScaleFactor(x) => {
+                write!(f, "scale factor must be positive, got {x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthConfigError {}
 
 /// Full parameterization of a synthetic workload.
 ///
@@ -162,16 +220,26 @@ impl WorkloadConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `factor` is not finite and positive.
+    /// Panics if `factor` is not finite and positive; see
+    /// [`try_scaled`](Self::try_scaled) for the fallible form.
     #[must_use]
-    pub fn scaled(mut self, factor: f64) -> Self {
-        assert!(
-            factor.is_finite() && factor > 0.0,
-            "scale factor must be positive, got {factor}"
-        );
+    pub fn scaled(self, factor: f64) -> Self {
+        self.try_scaled(factor).expect("valid scale factor")
+    }
+
+    /// Fallible form of [`scaled`](Self::scaled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthConfigError::BadScaleFactor`] if `factor` is not
+    /// finite and positive.
+    pub fn try_scaled(mut self, factor: f64) -> Result<Self, SynthConfigError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(SynthConfigError::BadScaleFactor(factor));
+        }
         self.total_refs = ((self.total_refs as f64 * factor).round() as u64).max(1);
         self.context_switches = (self.context_switches as f64 * factor).round() as u64;
-        self
+        Ok(self)
     }
 }
 
@@ -210,8 +278,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be positive")]
-    fn negative_scale_panics() {
-        let _ = WorkloadConfig::default().scaled(-1.0);
+    fn bad_scale_factors_are_typed_errors() {
+        for bad in [-1.0, 0.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                WorkloadConfig::default().try_scaled(bad),
+                Err(SynthConfigError::BadScaleFactor(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn error_display_names_the_field() {
+        assert!(SynthConfigError::ZeroCpus.to_string().contains("cpu"));
+        assert!(SynthConfigError::BadScaleFactor(-2.0)
+            .to_string()
+            .contains("-2"));
+        assert!(SynthConfigError::ZipfBadTheta(f64::NAN)
+            .to_string()
+            .contains("theta"));
     }
 }

@@ -7,6 +7,8 @@
 
 use rand::Rng;
 
+use super::SynthConfigError;
+
 /// A cumulative-distribution Zipf sampler.
 ///
 /// # Example
@@ -15,7 +17,7 @@ use rand::Rng;
 /// use rand::SeedableRng;
 /// use vrcache_trace::synth::Zipf;
 ///
-/// let z = Zipf::new(100, 0.9);
+/// let z = Zipf::new(100, 0.9).unwrap();
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 /// let item = z.sample(&mut rng);
 /// assert!(item < 100);
@@ -29,12 +31,18 @@ pub struct Zipf {
 impl Zipf {
     /// Builds a sampler over `n` items with exponent `theta >= 0`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n == 0` or `theta` is negative or non-finite.
-    pub fn new(n: u64, theta: f64) -> Self {
-        assert!(n > 0, "zipf needs at least one item");
-        assert!(theta.is_finite() && theta >= 0.0, "theta must be >= 0");
+    /// Returns [`SynthConfigError::ZipfNoItems`] if `n == 0`, or
+    /// [`SynthConfigError::ZipfBadTheta`] if `theta` is negative or
+    /// non-finite.
+    pub fn new(n: u64, theta: f64) -> Result<Self, SynthConfigError> {
+        if n == 0 {
+            return Err(SynthConfigError::ZipfNoItems);
+        }
+        if !(theta.is_finite() && theta >= 0.0) {
+            return Err(SynthConfigError::ZipfBadTheta(theta));
+        }
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0;
         for r in 0..n {
@@ -45,7 +53,7 @@ impl Zipf {
         for v in &mut cdf {
             *v /= total;
         }
-        Zipf { cdf, n }
+        Ok(Zipf { cdf, n })
     }
 
     /// Number of items.
@@ -81,7 +89,7 @@ mod tests {
 
     #[test]
     fn samples_in_range() {
-        let z = Zipf::new(50, 0.8);
+        let z = Zipf::new(50, 0.8).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 50);
@@ -90,7 +98,7 @@ mod tests {
 
     #[test]
     fn theta_zero_is_uniformish() {
-        let z = Zipf::new(4, 0.0);
+        let z = Zipf::new(4, 0.0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let mut counts = HashMap::new();
         for _ in 0..8000 {
@@ -104,7 +112,7 @@ mod tests {
 
     #[test]
     fn high_theta_is_skewed() {
-        let z = Zipf::new(100, 1.2);
+        let z = Zipf::new(100, 1.2).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let hot = z.scatter(0);
         let mut hot_count = 0;
@@ -123,7 +131,7 @@ mod tests {
 
     #[test]
     fn scatter_is_a_permutation_feeling_map() {
-        let z = Zipf::new(64, 1.0);
+        let z = Zipf::new(64, 1.0).unwrap();
         let mut seen = std::collections::HashSet::new();
         for r in 0..64 {
             seen.insert(z.scatter(r));
@@ -134,7 +142,7 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let z = Zipf::new(32, 0.9);
+        let z = Zipf::new(32, 0.9).unwrap();
         let a: Vec<u64> = {
             let mut rng = rand::rngs::StdRng::seed_from_u64(7);
             (0..20).map(|_| z.sample(&mut rng)).collect()
@@ -147,20 +155,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one item")]
-    fn zero_items_panics() {
-        let _ = Zipf::new(0, 1.0);
+    fn zero_items_is_typed_error() {
+        assert_eq!(
+            Zipf::new(0, 1.0).unwrap_err(),
+            SynthConfigError::ZipfNoItems
+        );
     }
 
     #[test]
-    #[should_panic(expected = "theta")]
-    fn negative_theta_panics() {
-        let _ = Zipf::new(1, -0.5);
+    fn bad_theta_is_typed_error() {
+        for bad in [-0.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                Zipf::new(1, bad),
+                Err(SynthConfigError::ZipfBadTheta(_))
+            ));
+        }
     }
 
     #[test]
     fn single_item_always_zero() {
-        let z = Zipf::new(1, 2.0);
+        let z = Zipf::new(1, 2.0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         for _ in 0..10 {
             assert_eq!(z.sample(&mut rng), 0);

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use vrcache_mem::access::{AccessKind, CpuId};
 use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr};
 use vrcache_mem::page::PageSize;
-use vrcache_trace::codec::{decode, encode};
+use vrcache_trace::codec::{decode, encode, Decoder};
 use vrcache_trace::record::{MemAccess, TraceEvent};
 use vrcache_trace::trace::Trace;
 
@@ -58,26 +58,85 @@ proptest! {
     }
 
     #[test]
-    fn decoder_never_panics_on_truncations(
+    fn truncations_always_yield_typed_error(
         events in proptest::collection::vec(event_strategy(), 0..50),
         cut_frac in 0.0f64..1.0,
     ) {
+        // Strictly truncating a valid encoding must surface as a typed
+        // CodecError — there are no trailing pad bytes, so every proper
+        // prefix loses header or event content.
         let t = Trace::new("t", 2, PageSize::SIZE_4K, events);
         let bytes = encode(&t);
-        let cut = ((bytes.len() as f64) * cut_frac) as usize;
-        let _ = decode(&bytes[..cut]);
+        let cut = (((bytes.len() - 1) as f64) * cut_frac) as usize;
+        prop_assert!(decode(&bytes[..cut]).is_err(), "cut at {} decoded", cut);
     }
 
     #[test]
     fn decoder_never_panics_on_single_flip(
         events in proptest::collection::vec(event_strategy(), 1..30),
         pos_frac in 0.0f64..1.0,
-        flip in any::<u8>(),
+        flip in 1u8..=255,
     ) {
+        // A bit flip may be masked (e.g. inside an address payload it
+        // just decodes a different trace), so the contract is "typed
+        // result, never panic" — exercised simply by returning.
         let t = Trace::new("t", 2, PageSize::SIZE_4K, events);
         let mut bytes = encode(&t).to_vec();
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         bytes[pos] ^= flip;
         let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn streaming_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        if let Ok(d) = Decoder::new(&bytes) {
+            for item in d {
+                let _ = item; // each yielded Result is typed, never a panic
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_surfaces_truncation(
+        events in proptest::collection::vec(event_strategy(), 1..50),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let t = Trace::new("t", 2, PageSize::SIZE_4K, events);
+        let bytes = encode(&t);
+        let cut = (((bytes.len() - 1) as f64) * cut_frac) as usize;
+        match Decoder::new(&bytes[..cut]) {
+            Err(_) => {} // header or event-count cut caught up front
+            Ok(d) => {
+                // The count check in new() bounds remaining by the
+                // buffer, so a surviving header means the cut landed
+                // inside the event stream: iteration must end in a
+                // typed error, never a panic.
+                let results: Vec<_> = d.collect();
+                prop_assert!(
+                    results.last().is_none_or(|r| r.is_err()),
+                    "cut at {} iterated cleanly",
+                    cut
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_never_panics_on_single_flip(
+        events in proptest::collection::vec(event_strategy(), 1..30),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let t = Trace::new("t", 2, PageSize::SIZE_4K, events);
+        let mut bytes = encode(&t).to_vec();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        if let Ok(d) = Decoder::new(&bytes) {
+            for item in d {
+                let _ = item;
+            }
+        }
     }
 }

@@ -26,4 +26,11 @@ if [[ "${MUTATE:-0}" == "1" ]]; then
   cargo run -q --release -p vrcache-mutate -- --suite smoke
 fi
 
+# Opt-in: INJECT=1 runs the fault-injection smoke campaign (104 runs,
+# well under a minute in release). The full sweep is `--campaign full`.
+if [[ "${INJECT:-0}" == "1" ]]; then
+  echo "==> fault-injection smoke campaign"
+  cargo run -q --release -p vrcache-inject -- --campaign smoke
+fi
+
 echo "All checks passed."
