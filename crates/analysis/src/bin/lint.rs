@@ -2,7 +2,7 @@
 //!
 //! Walks every tracked `.rs` source (plus DESIGN.md, the model
 //! checker's transition table, the mutation and injection baselines,
-//! and the latest mutation and injection reports), runs the seven lint
+//! and the latest mutation and injection reports), runs the eight lint
 //! passes, prints
 //! `file:line: [lint] message` diagnostics, and exits non-zero if
 //! anything fired. `scripts/check.sh` runs this as part of the
@@ -100,7 +100,7 @@ fn main() -> ExitCode {
     }
     if diags.is_empty() {
         println!(
-            "lint: clean — {} files checked (determinism, address-hygiene, panic-hygiene, doc-drift, transition-coverage, mutation-baseline, injection-baseline)",
+            "lint: clean — {} files checked (determinism, address-hygiene, panic-hygiene, doc-drift, transition-coverage, mutation-baseline, injection-baseline, fault-coverage)",
             ws.sources.len()
         );
         ExitCode::SUCCESS

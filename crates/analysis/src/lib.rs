@@ -1,6 +1,6 @@
 //! Static analysis for the vrcache workspace.
 //!
-//! Seven lints, run by `cargo run -p vrcache-analysis --bin lint`:
+//! Eight lints, run by `cargo run -p vrcache-analysis --bin lint`:
 //!
 //! * **determinism** — simulation results must be a pure function of the
 //!   seed. Wall-clock and entropy sources are forbidden everywhere, and
@@ -21,6 +21,10 @@
 //!   `crates/core`: every exercised transition has an arm, every arm is
 //!   exercised (or allowlisted as unreachable by design), and every
 //!   coherence state appears as a snoop context.
+//! * **fault-coverage** — every `FaultKind` variant must be handled, or
+//!   declined with an explicit `=> None` arm, by every `impl FaultPort`
+//!   site's `inject_fault`; wildcard arms are forbidden there, so a new
+//!   fault kind cannot be silently reported as not-applicable everywhere.
 //! * **mutation-baseline** — the surviving-mutant allowlist
 //!   (`crates/mutate/baseline.txt`) must stay in lockstep with the
 //!   mutants `vrcache-mutate` derives from today's sources: every entry
@@ -138,6 +142,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(lints::panic_hygiene::check(ws));
     diags.extend(lints::doc_drift::check(ws));
     diags.extend(lints::transitions::check(ws));
+    diags.extend(lints::faults::check(ws));
     diags.extend(lints::mutation::check(ws));
     diags.extend(lints::injection::check(ws));
     diags.sort();

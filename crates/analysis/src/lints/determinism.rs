@@ -48,13 +48,17 @@ const HASH_NEEDLES: &[(&str, &str)] = &[
 /// Path fragments that mark a file as statistics/report code. The model
 /// checker is included wholesale: its state canonicalization, coverage
 /// table, and scope reports are all rendered or compared, so any
-/// hash-ordered iteration there breaks run-to-run stability.
+/// hash-ordered iteration there breaks run-to-run stability. The exec
+/// substrate is included too: every batch report in the workspace is
+/// reduced through it, so hash-ordered iteration there would leak into
+/// all of them.
 const STATS_PATHS: &[&str] = &[
     "/stats.rs",
     "/report.rs",
     "/experiments/",
     "/src/analysis/",
     "crates/model/src/",
+    "crates/exec/src/",
 ];
 
 /// True when `rel_path` is in the stats/report set where hash-ordered
@@ -147,6 +151,10 @@ mod tests {
             "the model checker's canonical state encoding must stay ordered"
         );
         assert!(is_stats_path("crates/model/src/bin/main.rs"));
+        assert!(
+            is_stats_path("crates/exec/src/lib.rs"),
+            "every batch report reduces through the exec substrate"
+        );
         assert!(
             !is_stats_path("crates/analysis/src/lib.rs"),
             "this crate is not trace analysis"

@@ -1,6 +1,6 @@
 //! Panic-hygiene lint: no `unsafe` anywhere; no `.unwrap()` / `.expect(`
 //! in the library code of `crates/core`, `crates/model`, `crates/cache`,
-//! or `crates/bus`.
+//! `crates/bus`, or `crates/exec`.
 //!
 //! The core crate implements the paper's algorithm; when one of its
 //! internal invariants breaks, the simulator must report a structured
@@ -23,8 +23,17 @@ const PANIC_NEEDLES: &[&str] = &[concat!(".unw", "rap()"), concat!(".exp", "ect(
 const TEST_MARKER: &str = concat!("#[cfg(", "test)]");
 
 /// Crates whose library code (everything under `src/` except `src/bin/`)
-/// must surface broken invariants as typed violations, not panics.
-const STRICT_CRATES: &[&str] = &["crates/bus", "crates/cache", "crates/core", "crates/model"];
+/// must surface broken invariants as typed violations, not panics. The
+/// exec substrate is strict because it is the one place a stray panic
+/// would take down every batch driver at once — worker failures must
+/// surface as typed `CellFailure`s.
+const STRICT_CRATES: &[&str] = &[
+    "crates/bus",
+    "crates/cache",
+    "crates/core",
+    "crates/exec",
+    "crates/model",
+];
 
 /// True when `rel_path` is library code of a strict crate.
 fn strict_lib(rel_path: &str) -> bool {
@@ -120,8 +129,12 @@ mod tests {
     }
 
     #[test]
-    fn cache_and_bus_libs_are_strict() {
-        for path in ["crates/cache/src/array.rs", "crates/bus/src/txn.rs"] {
+    fn cache_bus_and_exec_libs_are_strict() {
+        for path in [
+            "crates/cache/src/array.rs",
+            "crates/bus/src/txn.rs",
+            "crates/exec/src/lib.rs",
+        ] {
             let diags = check(&ws(path, unwrap_line()));
             assert_eq!(diags.len(), 1, "{path}: {diags:?}");
         }

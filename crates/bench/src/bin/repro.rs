@@ -1,21 +1,30 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale S] [artifact ...]
+//! repro [--scale S] [--jobs N] [artifact ...]
 //!
 //!   --scale S   trace volume relative to the paper (default 1.0)
+//!   --jobs N    worker threads (default: host parallelism, max 16);
+//!               stdout is byte-identical for any value
 //!   artifact    table1 table2 table3 table5 table6 table7
 //!               fig4 fig5 fig6 tables8-10 tables11-13 inclusion ablations scaling traffic goodman assoc protocols
 //!               (default: everything)
 //! ```
+//!
+//! Artifacts fan out over the deterministic `vrcache-exec` substrate:
+//! each cell renders one artifact against a fresh `ExperimentCtx` (a
+//! pure memo, so the bytes never depend on sharing), results are
+//! reduced in artifact order, and per-artifact wall-clock progress goes
+//! to stderr only.
 
 use std::process::ExitCode;
 
 use vrcache_bench::Artifact;
-use vrcache_sim::experiments::ExperimentCtx;
+use vrcache_exec::{human_duration, parse_jobs, resolve_jobs, run_cells_observed};
 
 fn main() -> ExitCode {
     let mut scale = 1.0_f64;
+    let mut jobs = None;
     let mut artifacts: Vec<Artifact> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -27,9 +36,19 @@ fn main() -> ExitCode {
                 };
                 scale = v;
             }
+            "--jobs" => {
+                let value = args.next().unwrap_or_default();
+                match parse_jobs(&value) {
+                    Ok(n) => jobs = Some(n),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale S] [artifact ...]\nartifacts: table1 table2 table3 \
+                    "usage: repro [--scale S] [--jobs N] [artifact ...]\nartifacts: table1 table2 table3 \
                      table5 table6 table7 fig4 fig5 fig6 tables8-10 tables11-13 inclusion ablations scaling traffic goodman assoc protocols"
                 );
                 return ExitCode::SUCCESS;
@@ -51,15 +70,39 @@ fn main() -> ExitCode {
         artifacts = Artifact::ALL.to_vec();
     }
 
-    let mut ctx = ExperimentCtx::new(scale);
+    let jobs = resolve_jobs(jobs, artifacts.len());
+    eprintln!(
+        "[repro] {} artifact(s), {jobs} worker(s), scale {scale}",
+        artifacts.len()
+    );
+    let results = run_cells_observed(
+        jobs,
+        &artifacts,
+        |_, artifact| artifact.render(scale),
+        |event| {
+            eprintln!(
+                "[repro] [{}/{}] {:?} {} in {}",
+                event.done,
+                event.total,
+                artifacts[event.index],
+                if event.result.is_ok() {
+                    "rendered"
+                } else {
+                    "PANICKED"
+                },
+                human_duration(event.duration)
+            );
+        },
+    );
+
     println!("# vrcache reproduction (scale {scale})\n");
-    for artifact in artifacts {
-        eprintln!("[repro] running {artifact:?} ...");
-        for table in artifact.run(&mut ctx) {
-            println!("{table}");
-        }
-        if let Some(chart) = artifact.chart(&mut ctx) {
-            println!("```text\n{chart}```\n");
+    for (artifact, cell) in artifacts.iter().zip(results) {
+        match cell.result {
+            Ok(rendered) => print!("{rendered}"),
+            Err(failure) => {
+                eprintln!("[repro] {artifact:?} failed: {failure}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

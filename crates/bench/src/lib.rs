@@ -192,6 +192,25 @@ impl Artifact {
         let rr: Vec<(f64, f64)> = pts.iter().map(|p| (p.slowdown_pct, p.t_rr)).collect();
         Some(ascii_chart(&[("Vr", &vr), ("Rr", &rr)], 60, 16))
     }
+
+    /// Renders this artifact's full repro output — tables, then the
+    /// optional chart — exactly as the `repro` binary prints it. Each
+    /// render uses a fresh [`ExperimentCtx`] (a pure memo over the
+    /// deterministic trace generators), so the bytes are a pure function
+    /// of `(artifact, scale)`: the unit of work `repro --jobs N` fans
+    /// out without changing its output.
+    pub fn render(self, scale: f64) -> String {
+        use std::fmt::Write as _;
+        let mut ctx = ExperimentCtx::new(scale);
+        let mut out = String::new();
+        for table in self.run(&mut ctx) {
+            let _ = writeln!(out, "{table}");
+        }
+        if let Some(chart) = self.chart(&mut ctx) {
+            let _ = writeln!(out, "```text\n{chart}```\n");
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +234,29 @@ mod tests {
             let tables = a.run(&mut ctx);
             assert!(!tables.is_empty());
             assert!(!tables[0].is_empty());
+        }
+    }
+
+    /// The repro binary's fan-out, in miniature: rendering artifacts
+    /// through the exec substrate and concatenating in artifact order
+    /// must be byte-identical for any worker count.
+    #[test]
+    fn worker_count_never_changes_the_render() {
+        let artifacts = [Artifact::Table1, Artifact::Table2, Artifact::Table5];
+        let render_all = |jobs: usize| -> String {
+            vrcache_exec::run_cells(jobs, &artifacts, |_, a| a.render(0.002))
+                .into_iter()
+                .map(|cell| cell.result.expect("cheap artifacts render cleanly"))
+                .collect()
+        };
+        let baseline = render_all(1);
+        assert!(baseline.contains("Table 1"), "sanity: rendered something");
+        for jobs in [2, 8] {
+            assert_eq!(
+                render_all(jobs),
+                baseline,
+                "jobs={jobs} must render byte-identical output"
+            );
         }
     }
 }

@@ -2,9 +2,18 @@
 //!
 //! ```text
 //! cargo run --release -p vrcache-inject -- --campaign smoke
-//! cargo run --release -p vrcache-inject -- --campaign full --filter vr/
+//! cargo run --release -p vrcache-inject -- --campaign full --filter vr/ --jobs 4
 //! cargo run --release -p vrcache-inject -- --campaign smoke --write-baseline
+//! cargo run --release -p vrcache-inject -- --campaign smoke --pages 12 --refs 200
 //! ```
+//!
+//! Runs fan out over `--jobs` workers of the deterministic
+//! `vrcache-exec` substrate; everything on stdout (summary, report
+//! file) is byte-identical for any worker count, while per-run progress
+//! lines stream to stderr in completion order. The workload knobs
+//! (`--pages`, `--refs`, `--beat-period`) retune the synthetic workload
+//! for exploratory sweeps; baseline pinning only applies to the default
+//! shape the baseline was reviewed against.
 //!
 //! Exit status: `0` when the sweep upholds the robustness contract
 //! (no parity-on SDC, every parity-off SDC allowlisted with a reviewed
@@ -14,12 +23,15 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use vrcache_exec::{human_duration, parse_jobs, resolve_jobs};
 use vrcache_inject::baseline::{self, Baseline};
-use vrcache_inject::{find_root, report, Campaign};
+use vrcache_inject::{find_root, report, Campaign, WorkloadShape};
 
 struct Args {
     campaign: String,
     filter: String,
+    jobs: Option<usize>,
+    shape: WorkloadShape,
     report_path: Option<PathBuf>,
     write_baseline: bool,
     list: bool,
@@ -31,17 +43,31 @@ fn usage() -> String {
      options:\n\
      \x20 --campaign <smoke|full>   which sweep to run (required unless --list)\n\
      \x20 --filter <substring>      run only row ids containing <substring>\n\
+     \x20 --jobs <n>                worker threads (default: host parallelism, max 16);\n\
+     \x20                           the report is byte-identical for any value\n\
+     \x20 --pages <n>               workload pages, 1..=16 (default 8)\n\
+     \x20 --refs <n>                main-phase references per half (default 110)\n\
+     \x20 --beat-period <n>         sharing-beat period in iterations (default 16)\n\
      \x20 --report <path>           report destination (default target/injection-report.txt)\n\
      \x20 --write-baseline          regenerate crates/inject/baseline.txt from this run's\n\
-     \x20                           parity-off SDC set (keeps existing justifications)\n\
+     \x20                           parity-off SDC set (keeps existing justifications;\n\
+     \x20                           default workload shape only)\n\
      \x20 --list                    print row ids without running\n"
         .to_string()
+}
+
+fn parse_knob(name: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("{name} wants a non-negative integer, got `{value}`"))
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         campaign: String::new(),
         filter: String::new(),
+        jobs: None,
+        shape: WorkloadShape::default(),
         report_path: None,
         write_baseline: false,
         list: false,
@@ -56,6 +82,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--campaign" => args.campaign = value("--campaign")?,
             "--filter" => args.filter = value("--filter")?,
+            "--jobs" => args.jobs = Some(parse_jobs(&value("--jobs")?)?),
+            "--pages" => args.shape.pages = parse_knob("--pages", &value("--pages")?)?,
+            "--refs" => args.shape.half_refs = parse_knob("--refs", &value("--refs")?)?,
+            "--beat-period" => {
+                args.shape.beat_period = parse_knob("--beat-period", &value("--beat-period")?)?;
+            }
             "--report" => args.report_path = Some(PathBuf::from(value("--report")?)),
             "--write-baseline" => args.write_baseline = true,
             "--list" => args.list = true,
@@ -65,6 +97,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.campaign.is_empty() {
         args.campaign = "smoke".to_string();
+    }
+    args.shape.validate()?;
+    if args.write_baseline && !args.shape.is_default() {
+        return Err(
+            "--write-baseline only applies to the default workload shape: the pinned \
+             baseline documents the reviewed default-shape SDC routes"
+                .to_string(),
+        );
     }
     Ok(args)
 }
@@ -109,16 +149,36 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
+    let jobs = resolve_jobs(args.jobs, campaign.specs.len());
+    eprintln!(
+        "inject: campaign '{}' with {jobs} worker(s){}",
+        campaign.name,
+        if args.shape.is_default() {
+            String::new()
+        } else {
+            format!(
+                " (workload shape: {} pages, {} refs/half, beat every {})",
+                args.shape.pages, args.shape.half_refs, args.shape.beat_period
+            )
+        }
+    );
+
     // Injected faults are *supposed* to trip assertions; keep the
     // campaign's own output readable by silencing the per-panic
     // backtraces (every panic is still caught and classified).
     std::panic::set_hook(Box::new(|_| {}));
-    let result = campaign.run(&args.filter, |row| {
-        println!("{} {}", row.id(), row.result.outcome.label());
+    let result = campaign.run(&args.filter, jobs, &args.shape, |p| {
+        eprintln!(
+            "inject: [{}/{}] {} {} in {}",
+            p.done,
+            p.total,
+            p.row.id(),
+            p.row.result.outcome.label(),
+            human_duration(p.duration)
+        );
     });
     let _ = std::panic::take_hook();
 
-    println!();
     println!("campaign '{}': {} runs", result.name, result.rows.len());
     for (outcome, count) in result.counts() {
         println!("  {:<20} {}", outcome.label(), count);
@@ -166,6 +226,7 @@ fn main() -> ExitCode {
     let mut failed = false;
 
     // Contract 1: with parity + recovery on, nothing is silent. Ever.
+    // This holds for any workload shape.
     let sdc_on = result.sdc_ids(Some(true));
     if !sdc_on.is_empty() {
         failed = true;
@@ -176,7 +237,20 @@ fn main() -> ExitCode {
     }
 
     // Contract 2: every parity-off SDC route is pinned and explained.
-    if !args.write_baseline {
+    // The baseline was reviewed against the default workload shape, so
+    // retuned shapes report their SDC set without enforcing it.
+    if !args.shape.is_default() {
+        if !sdc_off.is_empty() {
+            println!(
+                "note: {} parity-off SDC route(s) under a non-default workload shape \
+                 (baseline not enforced):",
+                sdc_off.len()
+            );
+            for id in &sdc_off {
+                println!("  {id}");
+            }
+        }
+    } else if !args.write_baseline {
         let unpinned: Vec<&String> = sdc_off.iter().filter(|id| !baseline.contains(id)).collect();
         if !unpinned.is_empty() {
             failed = true;
@@ -197,10 +271,11 @@ fn main() -> ExitCode {
         }
     }
 
-    // Contract 4 (full sweeps only): every fault kind corrupted
-    // something somewhere — a kind that never applies is dead weight in
-    // the fault model.
-    if args.filter.is_empty() {
+    // Contract 4 (full default-shape sweeps only): every fault kind
+    // corrupted something somewhere — a kind that never applies is dead
+    // weight in the fault model. Retuned shapes may legitimately starve
+    // a kind (e.g. a beat period that never exercises invalidations).
+    if args.filter.is_empty() && args.shape.is_default() {
         let unexercised = result.unexercised_kinds();
         if !unexercised.is_empty() {
             failed = true;
@@ -219,7 +294,7 @@ fn main() -> ExitCode {
         .iter()
         .filter(|e| !sdc_off.contains(&e.id))
         .collect();
-    if !stale.is_empty() && args.filter.is_empty() {
+    if !stale.is_empty() && args.filter.is_empty() && args.shape.is_default() {
         println!(
             "note: {} baseline entr{} did not reach SDC in this run (expected across debug/release)",
             stale.len(),

@@ -8,7 +8,10 @@ use vrcache::rr::{InclusionMode, RrHierarchy};
 use vrcache::vr::VrHierarchy;
 use vrcache_mem::access::CpuId;
 
+use vrcache_exec::run_cells_observed;
+
 use crate::harness::{self, FaultTarget, Outcome, RunResult};
+use crate::workload::WorkloadShape;
 
 /// A hierarchy organization under injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -172,26 +175,88 @@ impl Campaign {
         enumerate("full", &[64, 140, 196], &[1, 2])
     }
 
-    /// Runs every spec whose id contains `filter` (all when empty),
-    /// calling `progress` after each run.
-    pub fn run<F: FnMut(&CampaignRow)>(&self, filter: &str, mut progress: F) -> CampaignResult {
-        let mut rows = Vec::new();
-        for spec in &self.specs {
-            if !filter.is_empty() && !spec.id().contains(filter) {
-                continue;
-            }
-            let row = CampaignRow {
+    /// Runs every spec whose id contains `filter` (all when empty) over
+    /// `jobs` workers of the deterministic `vrcache-exec` substrate,
+    /// calling `progress` as runs complete (completion order — stderr
+    /// telemetry only). The returned rows are in enumeration order for
+    /// any worker count, so the rendered report is byte-identical
+    /// whatever `jobs` is.
+    pub fn run<F: FnMut(&RowProgress<'_>)>(
+        &self,
+        filter: &str,
+        jobs: usize,
+        shape: &WorkloadShape,
+        mut progress: F,
+    ) -> CampaignResult {
+        let selected: Vec<Spec> = self
+            .specs
+            .iter()
+            .filter(|spec| filter.is_empty() || spec.id().contains(filter))
+            .copied()
+            .collect();
+        let results = run_cells_observed(
+            jobs,
+            &selected,
+            |_, spec| harness::run_shaped(spec, shape),
+            |event| {
+                let result = match event.result {
+                    Ok(result) => result.clone(),
+                    Err(failure) => harness_escape(failure),
+                };
+                progress(&RowProgress {
+                    row: &CampaignRow {
+                        spec: selected[event.index],
+                        result,
+                    },
+                    done: event.done,
+                    total: event.total,
+                    duration: event.duration,
+                });
+            },
+        );
+        let rows = selected
+            .iter()
+            .zip(results)
+            .map(|(spec, cell)| CampaignRow {
                 spec: *spec,
-                result: harness::run(spec),
-            };
-            progress(&row);
-            rows.push(row);
-        }
+                result: match cell.result {
+                    Ok(result) => result,
+                    Err(failure) => harness_escape(&failure),
+                },
+            })
+            .collect();
         CampaignResult {
             name: self.name,
             rows,
         }
     }
+}
+
+/// Classifies a panic that escaped the harness's own `catch_unwind`
+/// (a harness bug, not an injected fault — the harness catches those).
+/// The run failed loudly, so it lands in the detected-fatal bucket with
+/// a detail that names the escape; the message is deterministic, so the
+/// report stays byte-stable.
+fn harness_escape(failure: &vrcache_exec::CellFailure) -> RunResult {
+    RunResult {
+        outcome: Outcome::DetectedFatal,
+        applied: None,
+        detections: 0,
+        detail: format!("harness escape: {failure}"),
+    }
+}
+
+/// Progress for one completed injection, delivered in completion order.
+#[derive(Debug)]
+pub struct RowProgress<'a> {
+    /// The completed row.
+    pub row: &'a CampaignRow,
+    /// Runs finished so far (1-based).
+    pub done: usize,
+    /// Runs selected by the filter.
+    pub total: usize,
+    /// Wall-clock duration of this run (instrumentation only).
+    pub duration: std::time::Duration,
 }
 
 /// The classified rows of one campaign run.
@@ -269,11 +334,33 @@ mod tests {
 
     #[test]
     fn filter_restricts_runs() {
-        let result = Campaign::smoke().run("vr/tlb-entry-flip", |_| {});
+        let result =
+            Campaign::smoke().run("vr/tlb-entry-flip", 1, &WorkloadShape::default(), |_| {});
         assert_eq!(result.rows.len(), 2, "par=on and par=off");
         assert!(result
             .rows
             .iter()
             .all(|r| r.id().contains("tlb-entry-flip")));
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_rows() {
+        let campaign = Campaign::smoke();
+        let shape = WorkloadShape::default();
+        let baseline = campaign.run("vr/v-tag-flip", 1, &shape, |_| {});
+        for jobs in [2, 8] {
+            let mut seen = 0;
+            let parallel = campaign.run("vr/v-tag-flip", jobs, &shape, |p| {
+                seen += 1;
+                assert_eq!(p.total, baseline.rows.len());
+            });
+            assert_eq!(seen, baseline.rows.len());
+            let pairs = baseline.rows.iter().zip(&parallel.rows);
+            for (a, b) in pairs {
+                assert_eq!(a.id(), b.id(), "jobs={jobs}");
+                assert_eq!(a.result.outcome, b.result.outcome, "jobs={jobs}");
+                assert_eq!(a.result.detail, b.result.detail, "jobs={jobs}");
+            }
+        }
     }
 }

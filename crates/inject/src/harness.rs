@@ -21,7 +21,7 @@ use vrcache_sim::snoop::SnoopingBus;
 use vrcache_trace::record::TraceEvent;
 
 use crate::campaign::Spec;
-use crate::workload;
+use crate::workload::{self, WorkloadShape};
 
 /// A hierarchy the harness can both drive and corrupt.
 ///
@@ -234,11 +234,17 @@ fn one_line(s: &str) -> String {
 /// Number of processors every campaign system has.
 pub const CPUS: u16 = 2;
 
-/// Runs one injection to completion and classifies it.
+/// Runs one injection of the default-shape workload.
 pub fn run(spec: &Spec) -> RunResult {
+    run_shaped(spec, &WorkloadShape::default())
+}
+
+/// Runs one injection of a `shape`d workload to completion and
+/// classifies it.
+pub fn run_shaped(spec: &Spec, shape: &WorkloadShape) -> RunResult {
     let cfg = spec.config();
     let subblocks = cfg.subblocks();
-    let events = workload::build(spec.seed);
+    let events = workload::build_shaped(spec.seed, shape);
 
     let mut obs = Observations::default();
     let mut bus_state = BusFaultState::new(spec.parity, subblocks);

@@ -50,8 +50,9 @@ pub mod harness;
 pub mod report;
 pub mod workload;
 
-pub use campaign::{Campaign, CampaignResult, Org, Spec};
+pub use campaign::{Campaign, CampaignResult, Org, RowProgress, Spec};
 pub use harness::{Outcome, RunResult};
+pub use workload::WorkloadShape;
 
 /// Walks upward from `start` to the workspace root (the first directory
 /// whose `Cargo.toml` declares `[workspace]`).

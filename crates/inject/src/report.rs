@@ -38,13 +38,15 @@ pub fn render(result: &CampaignResult) -> String {
 mod tests {
     use super::*;
     use crate::campaign::Campaign;
+    use crate::workload::WorkloadShape;
 
     #[test]
     fn report_is_sorted_and_deterministic() {
         let campaign = Campaign::smoke();
-        let a = render(&campaign.run("vr/v-state-flip", |_| {}));
-        let b = render(&campaign.run("vr/v-state-flip", |_| {}));
-        assert_eq!(a, b, "same campaign, same bytes");
+        let shape = WorkloadShape::default();
+        let a = render(&campaign.run("vr/v-state-flip", 1, &shape, |_| {}));
+        let b = render(&campaign.run("vr/v-state-flip", 2, &shape, |_| {}));
+        assert_eq!(a, b, "same campaign, same bytes for any worker count");
         let rows: Vec<&str> = a.lines().filter(|l| !l.starts_with('#')).collect();
         assert_eq!(rows.len(), 2);
         let mut sorted = rows.clone();

@@ -1,13 +1,13 @@
 //! The fixed synthetic workload every injection replays.
 //!
 //! Hand-rolled rather than sampled from `vrcache-trace`'s generators so
-//! the event sequence is a pure function of the workload seed — no RNG
-//! crate, no floating-point sampling, nothing whose iteration order
-//! could drift. The shape stresses exactly the state the fault table
-//! corrupts:
+//! the event sequence is a pure function of the workload seed and the
+//! [`WorkloadShape`] — no RNG crate, no floating-point sampling, nothing
+//! whose iteration order could drift. The shape stresses exactly the
+//! state the fault table corrupts:
 //!
-//! * two CPUs sharing eight physical pages (coherence traffic, snoops,
-//!   invalidations — targets for the bus-level kinds),
+//! * two CPUs sharing a handful of physical pages (coherence traffic,
+//!   snoops, invalidations — targets for the bus-level kinds),
 //! * virtual aliasing on a quarter of the references (synonym
 //!   resolution exercises r-pointers and v-pointers),
 //! * a context switch on CPU 0 midway (swapped-valid state),
@@ -15,17 +15,78 @@
 //!   buffer and the inclusion bits busy),
 //! * a tail phase where both CPUs re-read every hot granule — latent
 //!   corruption that survived the main phase must face the oracle here.
+//!
+//! The default shape (8 pages, 110 references per half, a sharing beat
+//! every 16 iterations) is what the pinned `baseline.txt` was reviewed
+//! against; the campaign CLI can dial the knobs for exploratory sweeps.
 
 use vrcache_mem::access::{AccessKind, CpuId};
 use vrcache_mem::addr::{Asid, PhysAddr, VirtAddr};
 use vrcache_trace::record::{MemAccess, TraceEvent};
 
-/// Physical pages the workload touches.
-const PAGES: u64 = 8;
 /// Byte offset of the first page.
 const PA_BASE: u64 = 0x9000;
-/// Main-phase references per half (before and after the context switch).
-const HALF_REFS: u64 = 110;
+
+/// The tunable knobs of the synthetic workload.
+///
+/// [`WorkloadShape::default`] reproduces the exact event sequence the
+/// pinned SDC baseline was reviewed against; any other shape produces a
+/// different (but equally deterministic) sequence, so baseline
+/// enforcement is skipped for non-default shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadShape {
+    /// Physical pages the workload touches (1..=16; the canonical
+    /// virtual names must stay below the synonym-alias window at
+    /// `0x20000`).
+    pub pages: u64,
+    /// Main-phase references per half (before and after the context
+    /// switch).
+    pub half_refs: u64,
+    /// A sharing beat fires every `beat_period` main-phase iterations.
+    pub beat_period: u64,
+}
+
+impl Default for WorkloadShape {
+    fn default() -> WorkloadShape {
+        WorkloadShape {
+            pages: 8,
+            half_refs: 110,
+            beat_period: 16,
+        }
+    }
+}
+
+impl WorkloadShape {
+    /// Whether this is the baseline-pinned default shape.
+    pub fn is_default(&self) -> bool {
+        *self == WorkloadShape::default()
+    }
+
+    /// Validates the knobs, returning a usage-style message on error.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=16).contains(&self.pages) {
+            return Err(format!(
+                "--pages must be in 1..=16 (got {}): canonical page names must stay \
+                 below the 0x20000 synonym-alias window",
+                self.pages
+            ));
+        }
+        if self.half_refs == 0 {
+            return Err("--refs must be at least 1".to_string());
+        }
+        if self.beat_period == 0 {
+            return Err("--beat-period must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Iterations of each half that carry a sharing beat. The default
+    /// phase (iteration 5 of every 16) is preserved for any period that
+    /// still contains it.
+    fn is_beat(&self, i: u64) -> bool {
+        i % self.beat_period == 5 % self.beat_period
+    }
+}
 
 /// A tiny deterministic linear-congruential generator (same constants as
 /// `java.util.Random`; quality is irrelevant, determinism is not).
@@ -57,10 +118,10 @@ fn access(cpu: u16, asid: u16, kind: AccessKind, va: u64, pa: u64) -> TraceEvent
 
 /// One main-phase reference: page/offset/kind/aliasing drawn from the
 /// LCG, CPUs strictly alternating so the interleaving is fixed.
-fn main_ref(lcg: &mut Lcg, i: u64, asid0: u16) -> TraceEvent {
+fn main_ref(lcg: &mut Lcg, shape: &WorkloadShape, i: u64, asid0: u16) -> TraceEvent {
     let cpu = (i % 2) as u16;
     let asid = if cpu == 0 { asid0 } else { 1 };
-    let page = lcg.next(PAGES);
+    let page = lcg.next(shape.pages);
     let offset = lcg.next(16) * 16;
     let pa = PA_BASE + page * 0x1000 + offset;
     // A quarter of the references use the synonym alias of the page.
@@ -77,17 +138,12 @@ fn main_ref(lcg: &mut Lcg, i: u64, asid0: u16) -> TraceEvent {
     access(cpu, asid, kind, va, pa)
 }
 
-/// Iterations of each half that carry a *sharing beat*: both CPUs read
-/// the hot granule (page 0, offset 0), then CPU 0 writes it — a
-/// guaranteed write hit on a Shared line, i.e. a bus invalidation
-/// upgrade. This keeps Shared coherence state and `Invalidate`
-/// transactions flowing at every injection point: the targets of
-/// coherence-state flips and lost invalidations. CPU 1's beat read also
-/// confronts any stale copy it was left holding.
-fn is_beat(i: u64) -> bool {
-    i % 16 == 5
-}
-
+/// A *sharing beat*: both CPUs read the hot granule (page 0, offset 0),
+/// then CPU 0 writes it — a guaranteed write hit on a Shared line, i.e.
+/// a bus invalidation upgrade. This keeps Shared coherence state and
+/// `Invalidate` transactions flowing at every injection point: the
+/// targets of coherence-state flips and lost invalidations. CPU 1's
+/// beat read also confronts any stale copy it was left holding.
 fn sharing_beat(events: &mut Vec<TraceEvent>, asid0: u16) {
     let pa = PA_BASE;
     let va = 0x1000;
@@ -96,35 +152,35 @@ fn sharing_beat(events: &mut Vec<TraceEvent>, asid0: u16) {
     events.push(access(0, asid0, AccessKind::DataWrite, va, pa));
 }
 
-/// Builds the campaign workload for `seed`.
+/// Builds the campaign workload for `seed` with the given shape.
 ///
 /// The sequence is: warm-up half, context switch on CPU 0 (ASID 1 → 2),
 /// second half under the new ASID, then the verification tail in which
 /// both CPUs read back every page's first two granules through their
-/// canonical names. Total length is [`len`]`()` events.
-pub fn build(seed: u64) -> Vec<TraceEvent> {
+/// canonical names. Total length is [`len_shaped`]`(shape)` events.
+pub fn build_shaped(seed: u64, shape: &WorkloadShape) -> Vec<TraceEvent> {
     let mut lcg = Lcg::new(seed);
     let mut events = Vec::new();
-    for i in 0..HALF_REFS {
-        if is_beat(i) {
+    for i in 0..shape.half_refs {
+        if shape.is_beat(i) {
             sharing_beat(&mut events, 1);
         }
-        events.push(main_ref(&mut lcg, i, 1));
+        events.push(main_ref(&mut lcg, shape, i, 1));
     }
     events.push(TraceEvent::ContextSwitch {
         cpu: CpuId::new(0),
         from: Asid::new(1),
         to: Asid::new(2),
     });
-    for i in 0..HALF_REFS {
-        if is_beat(i) {
+    for i in 0..shape.half_refs {
+        if shape.is_beat(i) {
             sharing_beat(&mut events, 2);
         }
-        events.push(main_ref(&mut lcg, i, 2));
+        events.push(main_ref(&mut lcg, shape, i, 2));
     }
     // Verification tail: every hot granule faces the oracle once more on
     // both CPUs. CPU 0 reads under its post-switch ASID.
-    for page in 0..PAGES {
+    for page in 0..shape.pages {
         for granule in 0..2u64 {
             let offset = granule * 16;
             let pa = PA_BASE + page * 0x1000 + offset;
@@ -136,10 +192,21 @@ pub fn build(seed: u64) -> Vec<TraceEvent> {
     events
 }
 
+/// Builds the default-shape campaign workload for `seed`.
+pub fn build(seed: u64) -> Vec<TraceEvent> {
+    build_shaped(seed, &WorkloadShape::default())
+}
+
+/// Number of events [`build_shaped`] produces for `shape` (independent
+/// of the seed).
+pub fn len_shaped(shape: &WorkloadShape) -> u64 {
+    let beats = (0..shape.half_refs).filter(|&i| shape.is_beat(i)).count() as u64;
+    (shape.half_refs + beats * 3) * 2 + 1 + shape.pages * 2 * 2
+}
+
 /// Number of events [`build`] produces (independent of the seed).
 pub fn len() -> u64 {
-    let beats = (0..HALF_REFS).filter(|&i| is_beat(i)).count() as u64;
-    (HALF_REFS + beats * 3) * 2 + 1 + PAGES * 2 * 2
+    len_shaped(&WorkloadShape::default())
 }
 
 #[cfg(test)]
@@ -177,5 +244,55 @@ mod tests {
         assert!(writes > 20, "writes: {writes}");
         assert!(aliased > 10, "aliased: {aliased}");
         assert!(cpu1 > 50, "cpu1 refs: {cpu1}");
+    }
+
+    #[test]
+    fn default_shape_matches_legacy_build() {
+        let shape = WorkloadShape::default();
+        assert!(shape.is_default());
+        assert_eq!(build_shaped(1, &shape), build(1));
+        assert_eq!(len_shaped(&shape), len());
+    }
+
+    #[test]
+    fn shaped_knobs_change_the_sequence_deterministically() {
+        let wide = WorkloadShape {
+            pages: 12,
+            half_refs: 40,
+            beat_period: 8,
+        };
+        assert!(!wide.is_default());
+        wide.validate().expect("valid knobs");
+        let a = build_shaped(3, &wide);
+        assert_eq!(a, build_shaped(3, &wide), "same shape+seed, same events");
+        assert_eq!(a.len() as u64, len_shaped(&wide));
+        assert_ne!(a, build_shaped(3, &WorkloadShape::default()));
+    }
+
+    #[test]
+    fn shape_validation_rejects_bad_knobs() {
+        for bad in [
+            WorkloadShape {
+                pages: 0,
+                ..WorkloadShape::default()
+            },
+            WorkloadShape {
+                pages: 17,
+                ..WorkloadShape::default()
+            },
+            WorkloadShape {
+                half_refs: 0,
+                ..WorkloadShape::default()
+            },
+            WorkloadShape {
+                beat_period: 0,
+                ..WorkloadShape::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+        WorkloadShape::default()
+            .validate()
+            .expect("default is valid");
     }
 }

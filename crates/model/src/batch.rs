@@ -1,0 +1,124 @@
+//! Scope batteries on the `vrcache-exec` substrate.
+//!
+//! Exploring one scope is a pure function of the scope, so a battery is
+//! an embarrassingly parallel grid of cells. This module fans the
+//! battery out over the workspace's deterministic fixed-partition
+//! thread pool: reports come back in scope order regardless of the
+//! worker count, so everything the CLI prints (and the coverage table
+//! it writes) is byte-identical for any `--jobs N`.
+
+use crate::bfs::{run_scope, ScopeReport};
+use crate::scope::Scope;
+use vrcache_exec::{run_cells_observed, CellFailure};
+
+/// One scope's outcome in a battery run.
+#[derive(Debug, Clone)]
+pub struct ScopeOutcome {
+    /// The scope's name.
+    pub name: &'static str,
+    /// Its report, or the captured panic if exploration died (a checker
+    /// bug — property violations are reported *inside* a clean report).
+    pub result: Result<ScopeReport, CellFailure>,
+}
+
+/// Progress for one completed scope, delivered in completion order on
+/// the caller's thread. Everything here is stderr telemetry; the
+/// deterministic summaries live in the returned outcomes.
+#[derive(Debug, Clone)]
+pub struct BatteryProgress {
+    /// The scope that finished.
+    pub name: &'static str,
+    /// Scopes finished so far (1-based).
+    pub done: usize,
+    /// Scopes in the battery.
+    pub total: usize,
+    /// Wall-clock duration of this scope (instrumentation only).
+    pub duration: std::time::Duration,
+    /// Whether the scope's exploration panicked.
+    pub panicked: bool,
+}
+
+/// Explores every scope with `jobs` workers, calling `progress` as
+/// scopes complete, and returns the outcomes in scope order.
+pub fn run_scope_battery(
+    scopes: &[Scope],
+    jobs: usize,
+    mut progress: impl FnMut(&BatteryProgress),
+) -> Vec<ScopeOutcome> {
+    let results = run_cells_observed(
+        jobs,
+        scopes,
+        |_, scope| run_scope(scope),
+        |event| {
+            progress(&BatteryProgress {
+                name: scopes[event.index].name,
+                done: event.done,
+                total: event.total,
+                duration: event.duration,
+                panicked: event.result.is_err(),
+            });
+        },
+    );
+    scopes
+        .iter()
+        .zip(results)
+        .map(|(scope, cell)| ScopeOutcome {
+            name: scope.name,
+            result: cell.result,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Renders a battery run exactly as the CLI's stdout does: summary
+    /// lines in scope order, then the merged coverage table.
+    fn render_battery(scopes: &[Scope], jobs: usize) -> String {
+        let outcomes = run_scope_battery(scopes, jobs, |_| {});
+        let mut out = String::new();
+        let mut union = crate::coverage::CoverageSet::default();
+        for outcome in &outcomes {
+            let report = outcome.result.as_ref().expect("scope explored cleanly");
+            out.push_str(&report.summary());
+            out.push('\n');
+            union.merge(&report.coverage);
+        }
+        out.push_str(&union.render());
+        out
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_output() {
+        let scopes = vec![
+            Scope::smoke(),
+            Scope::by_name("goodman-2cpu").expect("battery scope"),
+            Scope::by_name("vr-inval-2cpu").expect("battery scope"),
+        ];
+        let baseline = render_battery(&scopes, 1);
+        for jobs in [2, 8] {
+            assert_eq!(
+                render_battery(&scopes, jobs),
+                baseline,
+                "jobs={jobs} must render byte-identical output"
+            );
+        }
+    }
+
+    #[test]
+    fn battery_outcomes_follow_scope_order() {
+        let scopes = vec![Scope::smoke()];
+        let mut calls = 0;
+        let outcomes = run_scope_battery(&scopes, 2, |p| {
+            calls += 1;
+            assert_eq!(p.total, 1);
+            assert!(!p.panicked);
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].name, "smoke");
+        let report = outcomes[0].result.as_ref().expect("smoke is clean");
+        assert!(report.counterexample.is_none());
+    }
+}

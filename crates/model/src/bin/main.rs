@@ -1,21 +1,27 @@
 //! CLI for the model checker.
 //!
 //! ```text
-//! vrcache-model [--scope <name|smoke|full|all>] [--write-coverage <path>]
+//! vrcache-model [--scope <name|smoke|full|all>] [--jobs <n>]
+//!               [--write-coverage <path>]
 //! ```
 //!
-//! Explores the requested scope(s) exhaustively, printing one
-//! deterministic summary line per scope. On a property violation the
-//! minimized counterexample script and a ready-to-paste regression test
-//! are printed and the process exits non-zero.
+//! Explores the requested scope(s) exhaustively — fanning them out over
+//! `--jobs` workers of the deterministic `vrcache-exec` substrate — and
+//! prints one deterministic summary line per scope. Stdout is
+//! byte-identical for any worker count; per-scope wall-clock progress
+//! goes to stderr only. On a property violation the minimized
+//! counterexample script and a ready-to-paste regression test are
+//! printed and the process exits non-zero.
 
 use std::process::ExitCode;
 
+use vrcache_exec::{human_duration, parse_jobs, resolve_jobs};
 use vrcache_model::coverage::CoverageSet;
-use vrcache_model::{run_scope, Scope};
+use vrcache_model::{run_scope_battery, Scope};
 
 struct Args {
     scopes: Vec<Scope>,
+    jobs: Option<usize>,
     write_coverage: Option<String>,
 }
 
@@ -23,7 +29,7 @@ fn usage() -> String {
     let mut names: Vec<&str> = Scope::all().iter().map(|s| s.name).collect();
     names.sort_unstable();
     format!(
-        "usage: vrcache-model [--scope <name|smoke|full|all>] [--write-coverage <path>]\n\
+        "usage: vrcache-model [--scope <name|smoke|full|all>] [--jobs <n>] [--write-coverage <path>]\n\
          scopes: {}, full (battery), all (smoke + battery)",
         names.join(", ")
     )
@@ -31,6 +37,7 @@ fn usage() -> String {
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut scopes = None;
+    let mut jobs = None;
     let mut write_coverage = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -46,6 +53,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .ok_or_else(|| format!("unknown scope `{name}`\n{}", usage()))?],
                 });
             }
+            "--jobs" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--jobs needs a value".to_string())?;
+                jobs = Some(parse_jobs(value)?);
+            }
             "--write-coverage" => {
                 let value = it
                     .next()
@@ -58,6 +71,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     Ok(Args {
         scopes: scopes.unwrap_or_else(Scope::all),
+        jobs,
         write_coverage,
     })
 }
@@ -72,16 +86,38 @@ fn main() -> ExitCode {
         }
     };
 
+    let jobs = resolve_jobs(args.jobs, args.scopes.len());
+    eprintln!(
+        "model: exploring {} scope(s) with {jobs} worker(s)",
+        args.scopes.len()
+    );
+    let outcomes = run_scope_battery(&args.scopes, jobs, |p| {
+        eprintln!(
+            "model: [{}/{}] scope {} {} in {}",
+            p.done,
+            p.total,
+            p.name,
+            if p.panicked { "PANICKED" } else { "explored" },
+            human_duration(p.duration)
+        );
+    });
+
     let mut union = CoverageSet::default();
     let mut failed = false;
-    for scope in &args.scopes {
-        let report = run_scope(scope);
+    for outcome in &outcomes {
+        let report = match &outcome.result {
+            Ok(report) => report,
+            Err(failure) => {
+                eprintln!("model: scope {} died: {failure}", outcome.name);
+                return ExitCode::from(2);
+            }
+        };
         println!("{}", report.summary());
         if let Some(ce) = &report.counterexample {
             failed = true;
             println!(
                 "model: scope {} VIOLATED — {} (minimized to {} events):",
-                scope.name,
+                outcome.name,
                 ce.violation,
                 ce.events.len()
             );

@@ -29,11 +29,13 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bfs;
 pub mod coverage;
 pub mod scope;
 pub mod world;
 
+pub use batch::{run_scope_battery, BatteryProgress, ScopeOutcome};
 pub use bfs::{replay, run_scope, union_coverage, Counterexample, ScopeReport};
 pub use scope::{ModelEvent, Scope, ScopeKind};
 pub use world::{ModelHierarchy, Violation, World};

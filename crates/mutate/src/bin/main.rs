@@ -10,7 +10,11 @@
 //! sources, then executes each mutant in an isolated scratch copy of
 //! the workspace (`target/mutate/worker-<k>`, one per job, reusing its
 //! incremental `target/` across mutants) through the staged kill
-//! pipeline:
+//! pipeline. Mutants fan out over the deterministic `vrcache-exec`
+//! substrate: its fixed partition gives worker `k` exclusive use of
+//! scratch workspace `k` with no locking, and its index-ordered
+//! reduction makes the report byte-identical for any `--jobs` value.
+//! The stages are:
 //!
 //! 1. `cargo check -p vrcache -p vrcache-cache` — failure ⇒ build-error
 //! 2. `cargo test -p vrcache -p vrcache-cache` — failure ⇒ killed:test
@@ -31,10 +35,10 @@ use std::fs::{self, File};
 use std::io;
 use std::path::Path;
 use std::process::{Command, ExitCode, Stdio};
-use std::sync::mpsc;
 use std::thread;
 use std::time::Duration;
 
+use vrcache_exec::{human_duration, parse_jobs, resolve_jobs, run_cells_observed};
 use vrcache_mutate::baseline::Baseline;
 use vrcache_mutate::report::{Report, Status};
 use vrcache_mutate::{find_root, generate, load_targets, smoke_subset, Mutant};
@@ -99,13 +103,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 };
             }
             "--list" => args.list = true,
-            "--jobs" => {
-                args.jobs = Some(
-                    value("--jobs")?
-                        .parse()
-                        .map_err(|e| format!("--jobs: {e}"))?,
-                );
-            }
+            "--jobs" => args.jobs = Some(parse_jobs(&value("--jobs")?)?),
             "--timeout-secs" => {
                 args.timeout_secs = value("--timeout-secs")?
                     .parse()
@@ -251,43 +249,31 @@ fn run_pipeline(dir: &Path, timeout_secs: u64) -> io::Result<Status> {
     Ok(Status::Survived)
 }
 
-/// Executes `mutants` (paired with their global result slots) in `dir`:
-/// write mutated file, run stages, restore pristine text. Results go to
-/// `tx` as they finish.
-fn run_worker(
-    dir: &Path,
-    mutants: &[(usize, Mutant)],
-    pristine: &[(String, String)],
-    timeout_secs: u64,
-    tx: &mpsc::Sender<(usize, Status)>,
-) {
-    for &(slot, ref m) in mutants {
-        let Some((_, source)) = pristine.iter().find(|(path, _)| *path == m.file) else {
-            eprintln!("mutate: {}: target {} not loaded", m.id, m.file);
-            continue;
-        };
-        let path = dir.join(&m.file);
-        let status = match m.apply(source) {
-            Ok(mutated) => {
-                let run = fs::write(&path, mutated)
-                    .and_then(|()| run_pipeline(dir, timeout_secs))
-                    .and_then(|status| fs::write(&path, source).map(|()| status));
-                match run {
-                    Ok(status) => status,
-                    Err(e) => {
-                        eprintln!("mutate: {}: pipeline error: {e}", m.id);
-                        let _ = fs::write(&path, source);
-                        Status::BuildError
-                    }
+/// Executes one mutant in its worker's scratch workspace: write mutated
+/// file, run stages, restore pristine text.
+fn run_mutant(dir: &Path, m: &Mutant, pristine: &[(String, String)], timeout_secs: u64) -> Status {
+    let Some((_, source)) = pristine.iter().find(|(path, _)| *path == m.file) else {
+        eprintln!("mutate: {}: target {} not loaded", m.id, m.file);
+        return Status::BuildError;
+    };
+    let path = dir.join(&m.file);
+    match m.apply(source) {
+        Ok(mutated) => {
+            let run = fs::write(&path, mutated)
+                .and_then(|()| run_pipeline(dir, timeout_secs))
+                .and_then(|status| fs::write(&path, source).map(|()| status));
+            match run {
+                Ok(status) => status,
+                Err(e) => {
+                    eprintln!("mutate: {}: pipeline error: {e}", m.id);
+                    let _ = fs::write(&path, source);
+                    Status::BuildError
                 }
             }
-            Err(e) => {
-                eprintln!("mutate: {}: cannot apply: {e}", m.id);
-                Status::BuildError
-            }
-        };
-        if tx.send((slot, status)).is_err() {
-            return;
+        }
+        Err(e) => {
+            eprintln!("mutate: {}: cannot apply: {e}", m.id);
+            Status::BuildError
         }
     }
 }
@@ -350,12 +336,7 @@ fn main() -> ExitCode {
 
     // One scratch workspace per job; warm each up on pristine source so
     // a broken tree or environment aborts before any mutant runs.
-    let default_jobs = thread::available_parallelism().map_or(1, |n| n.get().min(4));
-    let jobs = args
-        .jobs
-        .unwrap_or(default_jobs)
-        .clamp(1, 16)
-        .min(selected.len().max(1));
+    let jobs = resolve_jobs(args.jobs, selected.len());
     let mut worker_dirs = Vec::new();
     for k in 0..jobs {
         let dir = root
@@ -385,44 +366,45 @@ fn main() -> ExitCode {
         worker_dirs.push(dir);
     }
 
-    // Round-robin assignment keeps per-worker load even; report order
-    // is re-sorted later, so completion order is irrelevant.
-    let mut assignments: Vec<Vec<(usize, Mutant)>> = vec![Vec::new(); jobs];
-    for (i, m) in selected.iter().enumerate() {
-        assignments[i % jobs].push((i, m.clone()));
-    }
-    let (tx, rx) = mpsc::channel();
-    let mut statuses: Vec<Option<Status>> = vec![None; selected.len()];
-    thread::scope(|scope| {
-        for (dir, work) in worker_dirs.iter().zip(&assignments) {
-            let tx = tx.clone();
-            let pristine = &pristine;
-            scope.spawn(move || {
-                run_worker(dir, work, pristine, args.timeout_secs, &tx);
-            });
-        }
-        drop(tx);
-        let total = selected.len();
-        let mut done = 0;
-        for (slot, status) in rx {
-            done += 1;
-            let m = &selected[slot];
+    // The substrate's fixed partition sends cell `i` to worker
+    // `i % jobs`, so each worker has exclusive use of its scratch
+    // workspace and the per-worker load stays even.
+    let cell_results = run_cells_observed(
+        jobs,
+        &selected,
+        |ctx, m| run_mutant(&worker_dirs[ctx.worker], m, &pristine, args.timeout_secs),
+        |event| {
+            let m = &selected[event.index];
             eprintln!(
-                "mutate: [{done}/{total}] {} {}:{} {} → {}",
+                "mutate: [{}/{}] {} {}:{} {} → {} in {}",
+                event.done,
+                event.total,
                 m.id,
                 m.file,
                 m.line,
                 m.op,
-                status.label()
+                event.result.as_ref().map_or("panic", |s| s.label()),
+                human_duration(event.duration)
             );
-            statuses[slot] = Some(status);
-        }
-    });
+        },
+    );
 
     let results: Vec<(Mutant, Status)> = selected
         .iter()
-        .zip(&statuses)
-        .filter_map(|(m, s)| s.map(|s| (m.clone(), s)))
+        .zip(cell_results)
+        .map(|(m, cell)| {
+            let status = match cell.result {
+                Ok(status) => status,
+                Err(failure) => {
+                    // A panic in the driver itself (not the mutant's
+                    // pipeline, which runs in a subprocess): surface it
+                    // and count the mutant as unproven, not killed.
+                    eprintln!("mutate: {}: driver panic: {failure}", m.id);
+                    Status::Survived
+                }
+            };
+            (m.clone(), status)
+        })
         .collect();
     let report = Report::new(args.suite.label(), &results);
     let report_path = match &args.report {

@@ -282,4 +282,44 @@ mod tests {
             assert_eq!(Status::parse(st.label()), Some(st));
         }
     }
+
+    /// The mutation driver's fan-out, in miniature: classifying mutants
+    /// through the exec substrate and reducing into a report must be
+    /// byte-identical for any worker count. A pure classifier stands in
+    /// for the cargo pipeline so the test needs no subprocesses.
+    #[test]
+    fn worker_count_never_changes_the_report() {
+        let source = "fn f() {\n    let x = a == b;\n    let y = c < d;\n    let z = n + 1;\n}\n";
+        let mutants = crate::generate(&[
+            ("crates/core/src/inclusion.rs", source),
+            ("crates/core/src/vcache.rs", source),
+        ]);
+        assert!(mutants.len() >= 4, "fixture generates a real batch");
+        let classify = |m: &Mutant| match m.id.0 % 3 {
+            0 => Status::Survived,
+            1 => Status::KilledTest,
+            _ => Status::KilledModel,
+        };
+        let render = |jobs: usize| -> String {
+            let cells = vrcache_exec::run_cells(jobs, &mutants, |_, m| classify(m));
+            let results: Vec<(Mutant, Status)> = mutants
+                .iter()
+                .cloned()
+                .zip(
+                    cells
+                        .into_iter()
+                        .map(|c| c.result.expect("pure classifier")),
+                )
+                .collect();
+            Report::new("smoke", &results).render()
+        };
+        let baseline = render(1);
+        for jobs in [2, 8] {
+            assert_eq!(
+                render(jobs),
+                baseline,
+                "jobs={jobs} must render a byte-identical report"
+            );
+        }
+    }
 }

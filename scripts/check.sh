@@ -4,6 +4,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Worker count for the batch drivers (model / mutate / inject). Their
+# reports are byte-identical for any value — JOBS only changes wall
+# clock, never output.
+JOBS="${JOBS:-2}"
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -14,7 +19,7 @@ echo "==> cargo test -q"
 cargo test -q
 
 echo "==> model checker (smoke scope)"
-cargo run -q --release -p vrcache-model -- --scope smoke
+cargo run -q --release -p vrcache-model -- --scope smoke --jobs "$JOBS"
 
 echo "==> workspace lints"
 cargo run -q --release -p vrcache-analysis --bin lint
@@ -23,14 +28,14 @@ cargo run -q --release -p vrcache-analysis --bin lint
 # a few minutes on one core). The full sweep is `--suite full`.
 if [[ "${MUTATE:-0}" == "1" ]]; then
   echo "==> mutation smoke sweep"
-  cargo run -q --release -p vrcache-mutate -- --suite smoke
+  cargo run -q --release -p vrcache-mutate -- --suite smoke --jobs "$JOBS"
 fi
 
 # Opt-in: INJECT=1 runs the fault-injection smoke campaign (104 runs,
 # well under a minute in release). The full sweep is `--campaign full`.
 if [[ "${INJECT:-0}" == "1" ]]; then
   echo "==> fault-injection smoke campaign"
-  cargo run -q --release -p vrcache-inject -- --campaign smoke
+  cargo run -q --release -p vrcache-inject -- --campaign smoke --jobs "$JOBS"
 fi
 
 echo "All checks passed."

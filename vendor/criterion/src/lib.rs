@@ -17,6 +17,17 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Runs `f` once and returns its result together with the wall-clock
+/// duration it took. This is the workspace's only sanctioned wall-clock
+/// read outside the bench harness itself: `vrcache-exec` uses it for
+/// per-cell progress instrumentation, where durations go to stderr and
+/// never into report bytes, so reports stay deterministic.
+pub fn time_fn<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
 /// Throughput annotation for a benchmark group.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
