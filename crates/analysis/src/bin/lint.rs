@@ -1,22 +1,34 @@
 //! Workspace lint driver: `cargo run -p vrcache-analysis --bin lint`.
 //!
 //! Walks every tracked `.rs` source (plus DESIGN.md, the model
-//! checker's transition table, the mutation and injection baselines,
-//! and the latest mutation and injection reports), runs the eight lint
-//! passes, prints
+//! checker's transition table, the mutation, injection, and hot-path
+//! baselines, and the latest mutation and injection reports), runs the
+//! nine lint passes, prints
 //! `file:line: [lint] message` diagnostics, and exits non-zero if
 //! anything fired. `scripts/check.sh` runs this as part of the
 //! pre-merge gate.
 //!
-//! With `--json` the same diagnostics are emitted as one JSON object
-//! (`{"checked_files": N, "violations": [{file, line, lint, message}]}`)
-//! so CI can render them as annotations; the text output is unchanged
-//! by the flag's existence.
+//! Flags:
+//!
+//! * `--json` — emit the same diagnostics as one JSON object
+//!   (`{"checked_files": N, "violations": [{file, line, lint,
+//!   message}]}`) so CI can render them as annotations; the text
+//!   output is unchanged by the flag's existence.
+//! * `--list` — print the lint names, one per line, and exit.
+//! * `--only <lint>` — run a single lint by name (iterate on one pass
+//!   without paying for the other eight).
+//! * `--write-hotpath-baseline` — re-pin
+//!   `crates/analysis/hotpath_baseline.txt` from today's hot-set scan
+//!   and print the per-crate attribution report. `scripts/check.sh`
+//!   gates this behind a clean tier-1 run (`WRITE_HOTPATH=1`).
+//! * `--hotpath-report` — print the attribution report without
+//!   touching the baseline.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use vrcache_analysis::{run_all, walk, Diagnostic};
+use vrcache_analysis::lints::hotpath;
+use vrcache_analysis::{run_all, run_named, walk, Diagnostic, Workspace, LINTS};
 
 /// Escapes a string for a JSON string literal (quotes, backslashes,
 /// control characters).
@@ -60,13 +72,58 @@ fn render_json(checked_files: usize, diags: &[Diagnostic]) -> String {
     )
 }
 
+/// Scans the hot set and either writes the pinned baseline (`write`) or
+/// just prints the attribution report.
+fn hotpath_scan(root: &Path, ws: &Workspace, write: bool) -> ExitCode {
+    let scan = hotpath::scan(ws);
+    if !scan.active {
+        eprintln!("lint: no hot root resolves in this workspace; nothing to scan");
+        return ExitCode::from(2);
+    }
+    print!("{}", hotpath::attribution(&scan));
+    if write {
+        let path = root.join("crates/analysis/hotpath_baseline.txt");
+        if let Err(e) = std::fs::write(&path, hotpath::render_baseline(&scan)) {
+            eprintln!("lint: failed to write {path:?}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "lint: pinned {} baseline row(s) to crates/analysis/hotpath_baseline.txt",
+            scan.sites.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut json = false;
-    for arg in std::env::args().skip(1) {
+    let mut only: Option<String> = None;
+    let mut write_hotpath = false;
+    let mut hotpath_report = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--list" => {
+                for (name, _) in LINTS {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--only" => {
+                let Some(name) = args.next() else {
+                    eprintln!("lint: --only needs a lint name (see --list)");
+                    return ExitCode::from(2);
+                };
+                only = Some(name);
+            }
+            "--write-hotpath-baseline" => write_hotpath = true,
+            "--hotpath-report" => hotpath_report = true,
             other => {
-                eprintln!("lint: unknown argument `{other}` (usage: lint [--json])");
+                eprintln!(
+                    "lint: unknown argument `{other}` (usage: lint [--json] [--list] \
+                     [--only <lint>] [--hotpath-report] [--write-hotpath-baseline])"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -86,7 +143,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let diags = run_all(&ws);
+    if write_hotpath || hotpath_report {
+        return hotpath_scan(&root, &ws, write_hotpath);
+    }
+    let diags = match &only {
+        None => run_all(&ws),
+        Some(name) => match run_named(&ws, name) {
+            Some(diags) => diags,
+            None => {
+                eprintln!(
+                    "lint: no lint named `{name}`; available: {}",
+                    LINTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
     if json {
         print!("{}", render_json(ws.sources.len(), &diags));
         return if diags.is_empty() {
@@ -99,9 +171,14 @@ fn main() -> ExitCode {
         println!("{d}");
     }
     if diags.is_empty() {
+        let names: Vec<&str> = match &only {
+            None => LINTS.iter().map(|(n, _)| *n).collect(),
+            Some(name) => vec![name.as_str()],
+        };
         println!(
-            "lint: clean — {} files checked (determinism, address-hygiene, panic-hygiene, doc-drift, transition-coverage, mutation-baseline, injection-baseline, fault-coverage)",
-            ws.sources.len()
+            "lint: clean — {} files checked ({})",
+            ws.sources.len(),
+            names.join(", ")
         );
         ExitCode::SUCCESS
     } else {

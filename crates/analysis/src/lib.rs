@@ -1,6 +1,7 @@
 //! Static analysis for the vrcache workspace.
 //!
-//! Eight lints, run by `cargo run -p vrcache-analysis --bin lint`:
+//! Nine lints, run by `cargo run -p vrcache-analysis --bin lint`
+//! (`--list` names them, `--only <lint>` runs one in isolation):
 //!
 //! * **determinism** — simulation results must be a pure function of the
 //!   seed. Wall-clock and entropy sources are forbidden everywhere, and
@@ -37,6 +38,14 @@
 //!   be parity-off; a fault-injection campaign's report
 //!   (`target/injection-report.txt`) may contain no `sdc` row the
 //!   baseline doesn't pin, and no parity-on `sdc` row at all.
+//! * **hot-path-hygiene** — heap allocation and slow-structure sites in
+//!   any function reachable (over the [`callgraph`] module's syntactic
+//!   call graph) from the per-access hot roots (`VrHierarchy::access`,
+//!   `GoodmanHierarchy::access`, both `snoop` paths, the codec's
+//!   streaming `Decoder::next`) must be pinned in
+//!   `crates/analysis/hotpath_baseline.txt`. The baseline is a ratchet:
+//!   a new site fails the gate, a removed site demands a (shrunken)
+//!   re-pin via `--write-hotpath-baseline`, counts only go down.
 //!
 //! Every lint is a pure function over an in-memory [`Workspace`], so the
 //! crate's tests seed violations directly without touching the
@@ -47,6 +56,7 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lints;
 pub mod walk;
 
@@ -94,6 +104,9 @@ pub struct Workspace {
     /// Contents of `target/injection-report.txt` (the latest
     /// fault-injection campaign), if present.
     pub injection_report: Option<String>,
+    /// Contents of `crates/analysis/hotpath_baseline.txt` (the pinned
+    /// hot-path allocation sites), if present.
+    pub hotpath_baseline: Option<String>,
 }
 
 impl Workspace {
@@ -133,20 +146,42 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// A lint pass: a pure function from workspace to findings.
+pub type LintFn = fn(&Workspace) -> Vec<Diagnostic>;
+
+/// Name → pass table for all nine lints, in execution order. The names
+/// are the stable identifiers the binary's `--only` / `--list` flags
+/// accept and the `Diagnostic::lint` field carries.
+pub const LINTS: &[(&str, LintFn)] = &[
+    ("determinism", lints::determinism::check),
+    ("address-hygiene", lints::address::check),
+    ("panic-hygiene", lints::panic_hygiene::check),
+    ("doc-drift", lints::doc_drift::check),
+    ("transition-coverage", lints::transitions::check),
+    ("fault-coverage", lints::faults::check),
+    ("mutation-baseline", lints::mutation::check),
+    ("injection-baseline", lints::injection::check),
+    ("hot-path-hygiene", lints::hotpath::check),
+];
+
 /// Runs every lint over the workspace, returning findings sorted by file
 /// and line.
 pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    diags.extend(lints::determinism::check(ws));
-    diags.extend(lints::address::check(ws));
-    diags.extend(lints::panic_hygiene::check(ws));
-    diags.extend(lints::doc_drift::check(ws));
-    diags.extend(lints::transitions::check(ws));
-    diags.extend(lints::faults::check(ws));
-    diags.extend(lints::mutation::check(ws));
-    diags.extend(lints::injection::check(ws));
+    for (_, check) in LINTS {
+        diags.extend(check(ws));
+    }
     diags.sort();
     diags
+}
+
+/// Runs the single lint named `name`, or `None` if no lint has that
+/// name. Findings are sorted like [`run_all`]'s.
+pub fn run_named(ws: &Workspace, name: &str) -> Option<Vec<Diagnostic>> {
+    let (_, check) = LINTS.iter().find(|(n, _)| *n == name)?;
+    let mut diags = check(ws);
+    diags.sort();
+    Some(diags)
 }
 
 /// Strips the `//`-comment tail of a source line, respecting string

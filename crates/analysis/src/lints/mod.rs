@@ -4,6 +4,7 @@ pub mod address;
 pub mod determinism;
 pub mod doc_drift;
 pub mod faults;
+pub mod hotpath;
 pub mod injection;
 pub mod mutation;
 pub mod panic_hygiene;

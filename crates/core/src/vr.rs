@@ -713,12 +713,14 @@ impl CacheHierarchy for VrHierarchy {
         }
 
         // ---- second level ----
-        let l2_line = self.l2.lookup(p2).map(|l| l.meta.clone());
-        let (l2_hit, synonym) = match l2_line {
-            Some(meta) => {
+        // Only the addressed sub-block's entry is consulted below, and
+        // `SubEntry` is `Copy` — extracting it avoids cloning the whole
+        // `RMeta` (and its subs vector) on every access.
+        let si = self.l2.sub_index(p1);
+        let l2_sub = self.l2.lookup(p2).map(|l| l.meta.subs[si]);
+        let (l2_hit, synonym) = match l2_sub {
+            Some(sub) => {
                 self.l2.stats_mut().record(access.kind, true);
-                let si = self.l2.sub_index(p1);
-                let sub = meta.subs[si];
 
                 // Newest data may be in the write buffer: fold it in first.
                 if sub.buffer {
@@ -798,7 +800,6 @@ impl CacheHierarchy for VrHierarchy {
                     CohState::Shared
                 };
                 let meta = RMeta::fetched(state, &resp.granule_versions);
-                let si = self.l2.sub_index(p1);
                 let version = meta.subs[si].version;
                 let out = self.l2.fill(p2, meta);
                 if let Some(victim) = out.evicted {

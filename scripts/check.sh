@@ -21,6 +21,14 @@ cargo test -q
 echo "==> model checker (smoke scope)"
 cargo run -q --release -p vrcache-model -- --scope smoke --jobs "$JOBS"
 
+# Opt-in: WRITE_HOTPATH=1 re-pins the hot-path allocation baseline.
+# The gate lives here — after the build and the full test suite
+# (tier-1) have passed — so a broken tree can never pin its own debt.
+if [[ "${WRITE_HOTPATH:-0}" == "1" ]]; then
+  echo "==> re-pin hot-path-hygiene baseline (tier-1 clean)"
+  cargo run -q --release -p vrcache-analysis --bin lint -- --write-hotpath-baseline
+fi
+
 echo "==> workspace lints"
 cargo run -q --release -p vrcache-analysis --bin lint
 
