@@ -1,9 +1,9 @@
 //! Workspace lint driver: `cargo run -p vrcache-analysis --bin lint`.
 //!
 //! Walks every tracked `.rs` source (plus DESIGN.md, the model
-//! checker's transition table, the mutation, injection, and hot-path
-//! baselines, and the latest mutation and injection reports), runs the
-//! nine lint passes, prints
+//! checker's transition table, the mutation, injection, hot-path, and
+//! protocol-spec baselines, and the latest mutation and injection
+//! reports), runs the ten lint passes, prints
 //! `file:line: [lint] message` diagnostics, and exits non-zero if
 //! anything fired. `scripts/check.sh` runs this as part of the
 //! pre-merge gate.
@@ -16,19 +16,25 @@
 //!   output is unchanged by the flag's existence.
 //! * `--list` — print the lint names, one per line, and exit.
 //! * `--only <lint>` — run a single lint by name (iterate on one pass
-//!   without paying for the other eight).
+//!   without paying for the other nine).
 //! * `--write-hotpath-baseline` — re-pin
 //!   `crates/analysis/hotpath_baseline.txt` from today's hot-set scan
 //!   and print the per-crate attribution report. `scripts/check.sh`
 //!   gates this behind a clean tier-1 run (`WRITE_HOTPATH=1`).
 //! * `--hotpath-report` — print the attribution report without
 //!   touching the baseline.
+//! * `--write-protocol-spec` — re-pin
+//!   `crates/analysis/protocol_spec.txt` from today's extracted
+//!   transition surface. `scripts/check.sh` gates this behind a clean
+//!   tier-1 run (`WRITE_PROTOCOL_SPEC=1`).
+//! * `--protocol-report` — print the per-hierarchy transition tables
+//!   without touching the pinned spec.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use vrcache_analysis::lints::hotpath;
-use vrcache_analysis::{run_all, run_named, walk, Diagnostic, Workspace, LINTS};
+use vrcache_analysis::{protocol, run_all, run_named, walk, Diagnostic, Workspace, LINTS};
 
 /// Escapes a string for a JSON string literal (quotes, backslashes,
 /// control characters).
@@ -95,11 +101,37 @@ fn hotpath_scan(root: &Path, ws: &Workspace, write: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Extracts the protocol surface and either writes the pinned spec
+/// (`write`) or prints the per-hierarchy report.
+fn protocol_scan(root: &Path, ws: &Workspace, write: bool) -> ExitCode {
+    let surface = protocol::extract(ws);
+    if surface.hiers.is_empty() {
+        eprintln!("lint: no hierarchy snoop resolves in this workspace; nothing to extract");
+        return ExitCode::from(2);
+    }
+    if write {
+        let path = root.join("crates/analysis/protocol_spec.txt");
+        if let Err(e) = std::fs::write(&path, protocol::render(&surface)) {
+            eprintln!("lint: failed to write {path:?}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "lint: pinned {} transition row(s) to crates/analysis/protocol_spec.txt",
+            surface.rows.len()
+        );
+    } else {
+        print!("{}", protocol::report(&surface));
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut json = false;
     let mut only: Option<String> = None;
     let mut write_hotpath = false;
     let mut hotpath_report = false;
+    let mut write_protocol = false;
+    let mut protocol_report = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -119,10 +151,13 @@ fn main() -> ExitCode {
             }
             "--write-hotpath-baseline" => write_hotpath = true,
             "--hotpath-report" => hotpath_report = true,
+            "--write-protocol-spec" => write_protocol = true,
+            "--protocol-report" => protocol_report = true,
             other => {
                 eprintln!(
                     "lint: unknown argument `{other}` (usage: lint [--json] [--list] \
-                     [--only <lint>] [--hotpath-report] [--write-hotpath-baseline])"
+                     [--only <lint>] [--hotpath-report] [--write-hotpath-baseline] \
+                     [--protocol-report] [--write-protocol-spec])"
                 );
                 return ExitCode::from(2);
             }
@@ -145,6 +180,9 @@ fn main() -> ExitCode {
     };
     if write_hotpath || hotpath_report {
         return hotpath_scan(&root, &ws, write_hotpath);
+    }
+    if write_protocol || protocol_report {
+        return protocol_scan(&root, &ws, write_protocol);
     }
     let diags = match &only {
         None => run_all(&ws),

@@ -267,6 +267,15 @@ enum Pending {
     Block { header: String },
 }
 
+/// Parses one source file into its [`FnNode`] table without building
+/// the whole-workspace graph — the protocol flow extractor uses this to
+/// lift individual handler bodies.
+pub fn parse_nodes(rel_path: &str, text: &str) -> Vec<FnNode> {
+    let mut nodes = Vec::new();
+    parse_file(rel_path, text, &mut nodes);
+    nodes
+}
+
 fn parse_file(rel_path: &str, text: &str, nodes: &mut Vec<FnNode>) {
     let lines = scan_source(text);
     let mut depth = 0usize;

@@ -1,6 +1,6 @@
 //! Static analysis for the vrcache workspace.
 //!
-//! Nine lints, run by `cargo run -p vrcache-analysis --bin lint`
+//! Ten lints, run by `cargo run -p vrcache-analysis --bin lint`
 //! (`--list` names them, `--only <lint>` runs one in isolation):
 //!
 //! * **determinism** — simulation results must be a pure function of the
@@ -46,6 +46,15 @@
 //!   `crates/analysis/hotpath_baseline.txt`. The baseline is a ratchet:
 //!   a new site fails the gate, a removed site demands a (shrunken)
 //!   re-pin via `--write-hotpath-baseline`, counts only go down.
+//! * **protocol-spec** — the coherence transition surface the [`flow`]
+//!   scanner extracts from the `snoop` handlers (state-before × bus-op →
+//!   state-after, reply, actions; see the [`protocol`] module) must
+//!   match the pinned `crates/analysis/protocol_spec.txt` byte for byte,
+//!   agree bidirectionally with the model checker's exercised
+//!   transitions in `crates/model/coverage.txt`, and leave no
+//!   undocumented hole in the state×op matrix (dead combinations are
+//!   allowlisted with a reason). Re-pin with `--write-protocol-spec`
+//!   after a clean tier-1 run; `--protocol-report` prints the tables.
 //!
 //! Every lint is a pure function over an in-memory [`Workspace`], so the
 //! crate's tests seed violations directly without touching the
@@ -57,7 +66,9 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod flow;
 pub mod lints;
+pub mod protocol;
 pub mod walk;
 
 use std::fmt;
@@ -107,6 +118,9 @@ pub struct Workspace {
     /// Contents of `crates/analysis/hotpath_baseline.txt` (the pinned
     /// hot-path allocation sites), if present.
     pub hotpath_baseline: Option<String>,
+    /// Contents of `crates/analysis/protocol_spec.txt` (the pinned
+    /// coherence transition surface), if present.
+    pub protocol_spec: Option<String>,
 }
 
 impl Workspace {
@@ -149,7 +163,7 @@ impl fmt::Display for Diagnostic {
 /// A lint pass: a pure function from workspace to findings.
 pub type LintFn = fn(&Workspace) -> Vec<Diagnostic>;
 
-/// Name → pass table for all nine lints, in execution order. The names
+/// Name → pass table for all ten lints, in execution order. The names
 /// are the stable identifiers the binary's `--only` / `--list` flags
 /// accept and the `Diagnostic::lint` field carries.
 pub const LINTS: &[(&str, LintFn)] = &[
@@ -162,6 +176,7 @@ pub const LINTS: &[(&str, LintFn)] = &[
     ("mutation-baseline", lints::mutation::check),
     ("injection-baseline", lints::injection::check),
     ("hot-path-hygiene", lints::hotpath::check),
+    ("protocol-spec", lints::protocol::check),
 ];
 
 /// Runs every lint over the workspace, returning findings sorted by file

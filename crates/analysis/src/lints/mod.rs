@@ -8,4 +8,5 @@ pub mod hotpath;
 pub mod injection;
 pub mod mutation;
 pub mod panic_hygiene;
+pub mod protocol;
 pub mod transitions;

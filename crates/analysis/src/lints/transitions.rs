@@ -38,14 +38,6 @@ const HIERARCHIES: &[(&str, &str)] = &[
     ("goodman", "crates/core/src/goodman.rs"),
 ];
 
-/// Arms that exist in code but are unreachable by design — the snoop
-/// rejects them behind a `debug_assert`, so no scope can exercise them.
-const DEAD_BY_DESIGN: &[(&str, &str)] = &[
-    // Goodman is an invalidation-only protocol; Update is a V-R-only
-    // configuration and its arm exists purely to reject it loudly.
-    ("goodman", "update"),
-];
-
 /// Kebab-cases a `BusOp` variant identifier the way the model checker
 /// labels operations: `ReadModifiedWrite` → `read-modified-write`.
 fn kebab(ident: &str) -> String {
@@ -211,6 +203,12 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
         }
     }
 
+    // Arms that exist in code but are unreachable by design — derived
+    // from the protocol extractor (an op the snoop rejects in every
+    // coherence state), so this lint and `protocol-spec` cannot
+    // disagree about which ops a hierarchy declines.
+    let dead_by_design = crate::protocol::dead_pairs(ws);
+
     for &(label, path) in HIERARCHIES {
         let Some(file) = ws.file(path) else {
             continue;
@@ -241,7 +239,7 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
             }
         }
         for op in &handled {
-            let allowed = DEAD_BY_DESIGN.contains(&(label, op.as_str()));
+            let allowed = dead_by_design.contains(&(label.to_string(), op.clone()));
             if !exercised.contains(op) && !allowed {
                 out.push(Diagnostic {
                     file: path.into(),
@@ -379,14 +377,21 @@ mod tests {
 
     #[test]
     fn goodman_update_arm_is_allowlisted() {
+        // The snoop rejects Update behind a `debug_assert!(false …)`, so
+        // the extractor derives (goodman, update) as dead by design —
+        // no hand-kept allowlist entry is involved.
         let ws = Workspace {
             sources: vec![SourceFile::new(
                 "crates/core/src/goodman.rs",
-                "    fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {\n        \
-                 if txn.op == BusOp::Update { return SnoopReply::default(); }\n        \
+                "impl CacheHierarchy for GoodmanHierarchy {\n    \
+                 fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {\n        \
+                 if txn.op == BusOp::Update {\n            \
+                 debug_assert!(false, \"update is a V-R-only configuration\");\n            \
+                 return SnoopReply::default();\n        }\n        \
                  match txn.op {\n            BusOp::ReadMiss => self.r(),\n            \
                  BusOp::Invalidate | BusOp::ReadModifiedWrite => self.i(),\n            \
-                 BusOp::WriteBack => SnoopReply::default(),\n        }\n    }\n",
+                 BusOp::WriteBack => SnoopReply::default(),\n            \
+                 BusOp::Update => unreachable!(\"rejected above\"),\n        }\n    }\n}\n",
             )],
             model_coverage: Some(
                 "goodman absent read-miss\ngoodman shared read-miss\n\

@@ -1,0 +1,510 @@
+//! Protocol transition-surface extraction and rendering.
+//!
+//! [`extract`] lifts the coherence transition relation out of the three
+//! hierarchies' `snoop` handlers (paper Figure 3's tag states crossed
+//! with the five bus operations) by parsing each handler with
+//! [`flow::parse_fn`](crate::flow::parse_fn) and abstractly evaluating
+//! it per `(state-before, bus-op)` query with
+//! [`flow::eval_handler`](crate::flow::eval_handler). The result is a
+//! byte-deterministic table — pinned in
+//! `crates/analysis/protocol_spec.txt` and gated by the `protocol-spec`
+//! lint — of rows
+//!
+//! ```text
+//! <hierarchy> <state-before> <bus-op> -> <state-after> <reply> <actions>
+//! ```
+//!
+//! plus `issue` rows recording which bus operations each hierarchy can
+//! originate (`<hierarchy> issue <bus-op> -> - - <originating-fns>`),
+//! which mirror the model checker's `issue` coverage context.
+//!
+//! Row grammar:
+//!
+//! * `<state-after>` — `|`-joined sorted set of possible post-snoop
+//!   standings (`absent`, `shared`, `private`).
+//! * `<reply>` — `copy` / `nocopy` / `copy?` (path-dependent), with a
+//!   `+data` / `+data?` suffix when the reply supplies granule data.
+//! * `<actions>` — comma-joined sorted observable event counters in
+//!   kebab-case, each suffixed `?` when only some paths perform it;
+//!   `-` when none.
+//!
+//! Determinism: extraction is a pure function of source text into
+//! BTree-ordered structures; rendering sorts rows lexicographically.
+//! Nothing here reads clocks, paths outside the workspace, or thread
+//! schedules, so the table is byte-identical across runs and `--jobs`
+//! values.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{parse_nodes, FnNode};
+use crate::flow::{self, Ctx, FlowNode, Lens, Tri};
+use crate::Workspace;
+
+/// Fixed header of the pinned spec file.
+pub const SPEC_HEADER: &str = "\
+# protocol-spec — extracted coherence transition surface.
+# Format: <hierarchy> <state-before> <bus-op> -> <state-after> <reply> <actions>
+#         <hierarchy> issue <bus-op> -> - - <originating-fns>
+# `?` marks a path-dependent (may) fact; `|` joins alternative states.
+# Ratchet: any drift from the snoop handlers fails the `protocol-spec`
+# lint. Regenerate after a clean tier-1 run with
+# `WRITE_PROTOCOL_SPEC=1 scripts/check.sh` (or the lint binary's
+# --write-protocol-spec flag).
+";
+
+/// One hierarchy the extractor knows how to read.
+pub struct HierSpec {
+    /// Table label and coverage.txt hierarchy name.
+    pub label: &'static str,
+    /// File expected to define the hierarchy (absence ⇒ hierarchy not
+    /// part of this workspace; the lint skips it).
+    pub home_file: &'static str,
+    /// Impl self type of the `snoop` handler.
+    pub self_ty: &'static str,
+    /// Guard/statement needles for this hierarchy's home array.
+    pub lens: Lens,
+}
+
+/// The three hierarchies of the paper's evaluation.
+pub const HIERARCHIES: &[HierSpec] = &[
+    HierSpec {
+        label: "vr",
+        home_file: "crates/core/src/vr.rs",
+        self_ty: "VrHierarchy",
+        lens: Lens {
+            presence: &[".l2.peek", ".l2.lookup"],
+            home_invalidate: &[".l2.invalidate("],
+            private_bit: None,
+        },
+    },
+    HierSpec {
+        label: "rr",
+        home_file: "crates/core/src/rr.rs",
+        self_ty: "RrHierarchy",
+        lens: Lens {
+            presence: &[".l2.peek", ".l2.lookup"],
+            home_invalidate: &[".l2.invalidate("],
+            private_bit: None,
+        },
+    },
+    HierSpec {
+        label: "goodman",
+        home_file: "crates/core/src/goodman.rs",
+        self_ty: "GoodmanHierarchy",
+        lens: Lens {
+            presence: &[".reverse.get("],
+            home_invalidate: &[".reverse.remove("],
+            private_bit: Some(".private.insert("),
+        },
+    },
+];
+
+/// The extracted transition surface of one workspace.
+#[derive(Debug, Default)]
+pub struct ProtocolSurface {
+    /// Rendered rows, sorted — the body of `protocol_spec.txt`.
+    pub rows: Vec<String>,
+    /// `(hierarchy, state-before, op)` keys of the snoop rows.
+    pub snoop_keys: BTreeSet<(String, String, String)>,
+    /// `(hierarchy, op)` keys of the issue rows.
+    pub issue_keys: BTreeSet<(String, String)>,
+    /// `(hierarchy, op)` pairs dead in *every* state (rejected by
+    /// design) — these must be allowlisted with a reason.
+    pub dead: BTreeSet<(String, String)>,
+    /// `(hierarchy, state, op)` combinations individually dead while the
+    /// op is live in some other state.
+    pub dead_states: BTreeSet<(String, String, String)>,
+    /// Hierarchies that resolved (home file present, snoop found).
+    pub hiers: BTreeSet<String>,
+    /// Hierarchies whose home file exists but whose `snoop` handler the
+    /// extractor could not find — a lint error, not a silent skip.
+    pub missing_snoop: Vec<String>,
+    /// Kebab-cased bus-op universe used for the matrix.
+    pub ops: Vec<String>,
+}
+
+/// CamelCase → kebab-case (`ReadModifiedWrite` → `read-modified-write`),
+/// matching the model checker's label convention.
+fn kebab_case(ident: &str) -> String {
+    let mut out = String::new();
+    for c in ident.chars() {
+        if c.is_ascii_uppercase() {
+            if !out.is_empty() {
+                out.push('-');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The bus-op variant universe: read from the `BusOp` enum declaration
+/// in `crates/bus/src/txn.rs` when the workspace has it, otherwise the
+/// union of `BusOp::X` mentions across the hierarchy home files (the
+/// fixture-workspace fallback).
+fn bus_op_variants(ws: &Workspace) -> Vec<String> {
+    if let Some(f) = ws.file("crates/bus/src/txn.rs") {
+        let text = &f.text;
+        if let Some(pos) = text.find("pub enum BusOp") {
+            let after = &text[pos..];
+            if let Some(open) = after.find('{') {
+                if let Some(close) = after[open..].find('}') {
+                    let body = &after[open + 1..open + close];
+                    let mut out = Vec::new();
+                    for line in body.lines() {
+                        let t = line.trim().trim_end_matches(',');
+                        if !t.is_empty()
+                            && !t.starts_with("//")
+                            && !t.starts_with('#')
+                            && t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                        {
+                            out.push(t.to_string());
+                        }
+                    }
+                    if !out.is_empty() {
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    let mut seen = BTreeSet::new();
+    for h in HIERARCHIES {
+        let Some(text) = source_of(ws, h.home_file) else {
+            continue;
+        };
+        for marker in ["BusOp::", "BusRequest::"] {
+            let mut rest: &str = text;
+            while let Some(pos) = rest.find(marker) {
+                let after = &rest[pos + marker.len()..];
+                let ident: String = after
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if !ident.is_empty() && ident != "ALL" {
+                    seen.insert(ident);
+                }
+                rest = after;
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+fn source_of<'a>(ws: &'a Workspace, rel: &str) -> Option<&'a str> {
+    ws.file(rel).map(|f| f.text.as_str())
+}
+
+fn reply_label(has_copy: Tri, supplied: Tri) -> String {
+    let mut out = match has_copy {
+        Tri::Yes => "copy".to_string(),
+        Tri::May => "copy?".to_string(),
+        Tri::No => "nocopy".to_string(),
+    };
+    match supplied {
+        Tri::Yes => out.push_str("+data"),
+        Tri::May => out.push_str("+data?"),
+        Tri::No => {}
+    }
+    out
+}
+
+fn actions_label(actions: &BTreeMap<String, Tri>) -> String {
+    if actions.is_empty() {
+        return "-".to_string();
+    }
+    let mut parts = Vec::new();
+    for (name, tri) in actions {
+        match tri {
+            Tri::Yes => parts.push(name.clone()),
+            Tri::May => parts.push(format!("{name}?")),
+            Tri::No => {}
+        }
+    }
+    if parts.is_empty() {
+        return "-".to_string();
+    }
+    parts.join(",")
+}
+
+fn states_label(states: &BTreeSet<Ctx>) -> String {
+    if states.is_empty() {
+        return "-".to_string();
+    }
+    let labels: BTreeSet<&str> = states.iter().map(|s| s.label()).collect();
+    labels.into_iter().collect::<Vec<_>>().join("|")
+}
+
+/// Extracts the full transition surface of the workspace.
+pub fn extract(ws: &Workspace) -> ProtocolSurface {
+    let mut surface = ProtocolSurface::default();
+    let variants = bus_op_variants(ws);
+    surface.ops = variants.iter().map(|v| kebab_case(v)).collect();
+    for h in HIERARCHIES {
+        let Some(text) = source_of(ws, h.home_file) else {
+            continue;
+        };
+        let nodes = parse_nodes(h.home_file, text);
+        let of_ty: Vec<&FnNode> = nodes
+            .iter()
+            .filter(|n| n.self_ty.as_deref() == Some(h.self_ty))
+            .collect();
+        if of_ty.is_empty() {
+            continue;
+        }
+        let Some(snoop) = of_ty.iter().find(|n| n.name == "snoop") else {
+            surface.missing_snoop.push(h.label.to_string());
+            continue;
+        };
+        surface.hiers.insert(h.label.to_string());
+        let snoop_tree = flow::parse_fn(&snoop.body);
+        let mut helpers: BTreeMap<String, Vec<FlowNode>> = BTreeMap::new();
+        for n in &of_ty {
+            if n.name.starts_with("snoop_") {
+                helpers.insert(n.name.clone(), flow::parse_fn(&n.body));
+            }
+        }
+        for variant in &variants {
+            let op = kebab_case(variant);
+            let mut live_in_any = false;
+            for init in [Ctx::Absent, Ctx::Shared, Ctx::Private] {
+                let outcome = flow::eval_handler(&snoop_tree, &h.lens, &helpers, variant, init);
+                if !outcome.live {
+                    surface.dead_states.insert((
+                        h.label.to_string(),
+                        init.label().to_string(),
+                        op.clone(),
+                    ));
+                    continue;
+                }
+                live_in_any = true;
+                surface.rows.push(format!(
+                    "{} {} {} -> {} {} {}",
+                    h.label,
+                    init.label(),
+                    op,
+                    states_label(&outcome.states),
+                    reply_label(outcome.has_copy, outcome.supplied),
+                    actions_label(&outcome.actions),
+                ));
+                surface.snoop_keys.insert((
+                    h.label.to_string(),
+                    init.label().to_string(),
+                    op.clone(),
+                ));
+            }
+            if !live_in_any {
+                surface.dead.insert((h.label.to_string(), op.clone()));
+            }
+        }
+        // Issue rows: which ops this hierarchy originates, from
+        // `BusRequest::X` construction sites anywhere in the impl.
+        let mut issuers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for n in &of_ty {
+            for (_, code) in &n.body {
+                let mut rest = code.as_str();
+                while let Some(pos) = rest.find("BusRequest::") {
+                    let after = &rest[pos + "BusRequest::".len()..];
+                    let ident: String = after
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if variants.iter().any(|v| v == &ident) {
+                        issuers
+                            .entry(kebab_case(&ident))
+                            .or_default()
+                            .insert(n.name.clone());
+                    }
+                    rest = after;
+                }
+            }
+        }
+        for (op, fns) in issuers {
+            surface.rows.push(format!(
+                "{} issue {} -> - - {}",
+                h.label,
+                op,
+                fns.into_iter().collect::<Vec<_>>().join(",")
+            ));
+            surface.issue_keys.insert((h.label.to_string(), op));
+        }
+    }
+    surface.rows.sort();
+    surface
+}
+
+/// Renders the pinned-file body: header plus sorted rows.
+pub fn render(surface: &ProtocolSurface) -> String {
+    let mut out = String::from(SPEC_HEADER);
+    for row in &surface.rows {
+        out.push_str(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Human-readable per-hierarchy report for `--protocol-report`.
+pub fn report(surface: &ProtocolSurface) -> String {
+    let mut out = String::new();
+    for h in HIERARCHIES {
+        if !surface.hiers.contains(h.label) {
+            continue;
+        }
+        out.push_str(&format!("== {} ==\n", h.label));
+        for row in &surface.rows {
+            if row.starts_with(&format!("{} ", h.label)) {
+                out.push_str(row);
+                out.push('\n');
+            }
+        }
+        let dead: Vec<&str> = surface
+            .dead
+            .iter()
+            .filter(|(hier, _)| hier == h.label)
+            .map(|(_, op)| op.as_str())
+            .collect();
+        if !dead.is_empty() {
+            out.push_str(&format!("dead ops: {}\n", dead.join(", ")));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The spec-derived dead `(hierarchy, op)` pairs, for the
+/// `transition-coverage` lint (so the two lints cannot disagree about
+/// which ops a hierarchy rejects).
+pub fn dead_pairs(ws: &Workspace) -> BTreeSet<(String, String)> {
+    extract(ws).dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            sources: files
+                .iter()
+                .map(|(p, t)| crate::SourceFile::new(*p, *t))
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    const MINI_VR: &str = "\
+impl VrHierarchy {
+    fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {
+        match txn.op {
+            BusOp::ReadMiss => self.snoop_read(txn.block),
+            BusOp::Invalidate => {
+                let Some(line) = self.l2.invalidate(p2) else {
+                    return SnoopReply::default();
+                };
+                self.events.inval_v += 1;
+                let _ = line;
+                SnoopReply { has_copy: true, ..SnoopReply::default() }
+            }
+            BusOp::WriteBack => SnoopReply::default(),
+            BusOp::Update => {
+                debug_assert!(false, \"not handled\");
+                SnoopReply::default()
+            }
+        }
+    }
+    fn snoop_read(&mut self, block: BlockId) -> SnoopReply {
+        let Some(line) = self.l2.peek_mut(p2) else {
+            return SnoopReply::default();
+        };
+        line.meta.state = CohState::Shared;
+        self.events.flush_v += 1;
+        SnoopReply { has_copy: true, ..SnoopReply::default() }
+    }
+}
+";
+
+    #[test]
+    fn mini_workspace_rows_and_dead_ops() {
+        let w = ws(&[("crates/core/src/vr.rs", MINI_VR)]);
+        let s = extract(&w);
+        assert!(s.hiers.contains("vr"), "{:?}", s.hiers);
+        // Update rejects in every state → a dead pair.
+        assert!(
+            s.dead.contains(&("vr".into(), "update".into())),
+            "{:?}",
+            s.dead
+        );
+        // Read-miss from shared keeps the line shared with a flush.
+        assert!(
+            s.rows
+                .contains(&"vr shared read-miss -> shared copy flush-v".to_string()),
+            "{:#?}",
+            s.rows
+        );
+        // Read-miss from absent is a clean nocopy.
+        assert!(
+            s.rows
+                .contains(&"vr absent read-miss -> absent nocopy -".to_string()),
+            "{:#?}",
+            s.rows
+        );
+        // Invalidate from a resident state empties the home array.
+        assert!(
+            s.rows
+                .contains(&"vr shared invalidate -> absent copy inval-v".to_string()),
+            "{:#?}",
+            s.rows
+        );
+        // Write-back is ignored in every state.
+        assert!(
+            s.rows
+                .contains(&"vr private write-back -> private nocopy -".to_string()),
+            "{:#?}",
+            s.rows
+        );
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let w = ws(&[("crates/core/src/vr.rs", MINI_VR)]);
+        let a = render(&extract(&w));
+        let b = render(&extract(&w));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn issue_rows_from_bus_request_sites() {
+        let src = "\
+impl VrHierarchy {
+    fn snoop(&mut self, txn: &BusTransaction) -> SnoopReply {
+        SnoopReply::default()
+    }
+    fn miss(&mut self) {
+        self.bus.issue(BusRequest::ReadMiss { block });
+    }
+}
+";
+        let w = ws(&[("crates/core/src/vr.rs", src)]);
+        let s = extract(&w);
+        assert!(
+            s.issue_keys.contains(&("vr".into(), "read-miss".into())),
+            "{:?}",
+            s.issue_keys
+        );
+        assert!(
+            s.rows
+                .contains(&"vr issue read-miss -> - - miss".to_string()),
+            "{:#?}",
+            s.rows
+        );
+    }
+
+    #[test]
+    fn kebab_matches_model_labels() {
+        assert_eq!(kebab_case("ReadModifiedWrite"), "read-modified-write");
+        assert_eq!(kebab_case("WriteBack"), "write-back");
+        assert_eq!(kebab_case("Update"), "update");
+    }
+}

@@ -51,6 +51,7 @@ pub fn load(root: &Path) -> io::Result<Workspace> {
     let injection_report = fs::read_to_string(root.join("target/injection-report.txt")).ok();
     let hotpath_baseline =
         fs::read_to_string(root.join("crates/analysis/hotpath_baseline.txt")).ok();
+    let protocol_spec = fs::read_to_string(root.join("crates/analysis/protocol_spec.txt")).ok();
     Ok(Workspace {
         sources,
         design_md,
@@ -60,6 +61,7 @@ pub fn load(root: &Path) -> io::Result<Workspace> {
         injection_baseline,
         injection_report,
         hotpath_baseline,
+        protocol_spec,
     })
 }
 

@@ -238,7 +238,7 @@ impl Tlb {
     /// Checks for a translation without updating LRU state or statistics.
     pub fn peek(&self, asid: Asid, vpn: Vpn) -> Option<Ppn> {
         let range = self.set_range(vpn);
-        self.entries[range.clone()]
+        self.entries[range]
             .iter()
             .find(|e| e.valid && e.asid == asid && e.vpn == vpn)
             .map(|e| e.ppn)

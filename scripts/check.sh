@@ -29,6 +29,14 @@ if [[ "${WRITE_HOTPATH:-0}" == "1" ]]; then
   cargo run -q --release -p vrcache-analysis --bin lint -- --write-hotpath-baseline
 fi
 
+# Opt-in: WRITE_PROTOCOL_SPEC=1 re-pins the extracted coherence
+# transition surface. Same placement rationale: only a tree that
+# builds and passes tier-1 may rewrite its own protocol contract.
+if [[ "${WRITE_PROTOCOL_SPEC:-0}" == "1" ]]; then
+  echo "==> re-pin protocol-spec transition surface (tier-1 clean)"
+  cargo run -q --release -p vrcache-analysis --bin lint -- --write-protocol-spec
+fi
+
 echo "==> workspace lints"
 cargo run -q --release -p vrcache-analysis --bin lint
 
