@@ -1,6 +1,6 @@
 //! Static analysis for the vrcache workspace.
 //!
-//! Ten lints, run by `cargo run -p vrcache-analysis --bin lint`
+//! Eleven lints, run by `cargo run -p vrcache-analysis --bin lint`
 //! (`--list` names them, `--only <lint>` runs one in isolation):
 //!
 //! * **determinism** — simulation results must be a pure function of the
@@ -55,6 +55,18 @@
 //!   undocumented hole in the state×op matrix (dead combinations are
 //!   allowlisted with a reason). Re-pin with `--write-protocol-spec`
 //!   after a clean tier-1 run; `--protocol-report` prints the tables.
+//! * **address-domain** — the interprocedural dataflow analysis in the
+//!   [`domain`] module assigns every parameter, return value, and local
+//!   binding in the simulator crates an abstract address domain seeded
+//!   from the `vrcache_mem::addr` newtypes and propagated across call
+//!   edges to a fixpoint. Flows where one domain's value reaches
+//!   another domain's constructor, field, or parameter position outside
+//!   the sanctioned translation seams — and raw integers inferred to
+//!   carry both virtual- and physical-family values — are pinned in
+//!   `crates/analysis/domain_baseline.txt` with the same ratchet
+//!   semantics as the hot-path baseline. Re-pin with
+//!   `--write-domain-baseline`; `--domain-report` prints flagged sites
+//!   and inferred parameter domains.
 //!
 //! Every lint is a pure function over an in-memory [`Workspace`], so the
 //! crate's tests seed violations directly without touching the
@@ -66,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod domain;
 pub mod flow;
 pub mod lints;
 pub mod protocol;
@@ -121,6 +134,9 @@ pub struct Workspace {
     /// Contents of `crates/analysis/protocol_spec.txt` (the pinned
     /// coherence transition surface), if present.
     pub protocol_spec: Option<String>,
+    /// Contents of `crates/analysis/domain_baseline.txt` (the pinned
+    /// cross-domain address flows), if present.
+    pub domain_baseline: Option<String>,
 }
 
 impl Workspace {
@@ -163,7 +179,7 @@ impl fmt::Display for Diagnostic {
 /// A lint pass: a pure function from workspace to findings.
 pub type LintFn = fn(&Workspace) -> Vec<Diagnostic>;
 
-/// Name → pass table for all ten lints, in execution order. The names
+/// Name → pass table for all eleven lints, in execution order. The names
 /// are the stable identifiers the binary's `--only` / `--list` flags
 /// accept and the `Diagnostic::lint` field carries.
 pub const LINTS: &[(&str, LintFn)] = &[
@@ -177,6 +193,7 @@ pub const LINTS: &[(&str, LintFn)] = &[
     ("injection-baseline", lints::injection::check),
     ("hot-path-hygiene", lints::hotpath::check),
     ("protocol-spec", lints::protocol::check),
+    ("address-domain", lints::domain::check),
 ];
 
 /// Runs every lint over the workspace, returning findings sorted by file

@@ -1,20 +1,37 @@
 //! Address-hygiene lint: raw integer casts may not touch the address
 //! newtypes outside `crates/mem`.
 //!
-//! `VirtAddr`, `PhysAddr`, `Vpn` and `Ppn` exist so virtual and physical
-//! addresses cannot be mixed up; a `... as u64` / `... as usize` on a line
-//! that handles them reopens exactly that hole (and silently truncates on
-//! 32-bit `usize`). `crates/mem` owns the raw representation and is the
-//! only place allowed to convert; everyone else goes through `raw()`,
-//! `new()`, `index()` and `From` impls.
+//! `VirtAddr`, `PhysAddr`, `Vpn`, `Ppn`, `Asid` and the derived split
+//! types (`SetIndex`, `Tag`, `PageOffset`) exist so address-space
+//! quantities cannot be mixed up; a `... as u64` / `... as usize` /
+//! `... as u32` / `... as u16` on a line that handles them reopens
+//! exactly that hole (and silently truncates — an ASID narrowed with
+//! `as u16` drops high bits without a word). `crates/mem` owns the raw
+//! representation and is the only place allowed to convert; everyone
+//! else goes through `raw()`, `new()`, `index()` and `From` impls.
 
 use crate::{code_portion, contains_word, Diagnostic, Workspace};
 
 /// The protected newtype names (see `crates/mem/src/addr.rs`).
-const NEWTYPES: &[&str] = &["VirtAddr", "PhysAddr", "Vpn", "Ppn", "PageNum"];
+const NEWTYPES: &[&str] = &[
+    "VirtAddr",
+    "PhysAddr",
+    "Vpn",
+    "Ppn",
+    "PageNum",
+    "Asid",
+    "SetIndex",
+    "Tag",
+    "PageOffset",
+];
 
 // concat!-split so the lint does not flag its own needle table.
-const CASTS: &[&str] = &[concat!(" as", " u64"), concat!(" as", " usize")];
+const CASTS: &[&str] = &[
+    concat!(" as", " u64"),
+    concat!(" as", " usize"),
+    concat!(" as", " u32"),
+    concat!(" as", " u16"),
+];
 
 /// Runs the address-hygiene lint over every source outside `crates/mem`.
 pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
@@ -68,6 +85,22 @@ mod tests {
     fn mem_crate_is_exempt() {
         let text = format!("let v = VirtAddr::new(x{} u64);\n", concat!(" as"));
         assert!(check(&ws("crates/mem/src/addr.rs", text)).is_empty());
+    }
+
+    #[test]
+    fn flags_asid_truncation_casts() {
+        // The regression this test pins: `Asid` was missing from the
+        // NEWTYPES table and ` as u16`/` as u32` from CASTS, so an ASID
+        // truncation next to the newtype passed silently.
+        let text = format!("let a = Asid::new(next{} u16);\n", concat!(" as"));
+        let diags = check(&ws("crates/core/src/vr.rs", text));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("Asid"), "{diags:?}");
+
+        let text = format!("let wide = SetIndex::new(x){} u32;\n", concat!(" as"));
+        let diags = check(&ws("crates/cache/src/array.rs", text));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("SetIndex"), "{diags:?}");
     }
 
     #[test]

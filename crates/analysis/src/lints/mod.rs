@@ -3,6 +3,7 @@
 pub mod address;
 pub mod determinism;
 pub mod doc_drift;
+pub mod domain;
 pub mod faults;
 pub mod hotpath;
 pub mod injection;

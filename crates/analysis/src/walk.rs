@@ -52,6 +52,7 @@ pub fn load(root: &Path) -> io::Result<Workspace> {
     let hotpath_baseline =
         fs::read_to_string(root.join("crates/analysis/hotpath_baseline.txt")).ok();
     let protocol_spec = fs::read_to_string(root.join("crates/analysis/protocol_spec.txt")).ok();
+    let domain_baseline = fs::read_to_string(root.join("crates/analysis/domain_baseline.txt")).ok();
     Ok(Workspace {
         sources,
         design_md,
@@ -62,6 +63,7 @@ pub fn load(root: &Path) -> io::Result<Workspace> {
         injection_report,
         hotpath_baseline,
         protocol_spec,
+        domain_baseline,
     })
 }
 
@@ -327,6 +329,7 @@ mod tests {
         );
         assert!(ws.design_md.is_some(), "DESIGN.md loads");
         assert!(ws.hotpath_baseline.is_some(), "hot-path baseline loads");
+        assert!(ws.domain_baseline.is_some(), "domain baseline loads");
     }
 
     fn marker() -> String {

@@ -9,6 +9,7 @@
 
 use crate::geometry::{BlockId, CacheGeometry};
 use crate::replacement::{ReplacementPolicy, SetState, XorShift64};
+use vrcache_mem::SetIndex;
 
 /// One cache line: the block it holds and the caller's metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,8 +96,8 @@ impl<M> CacheArray<M> {
     }
 
     #[inline]
-    fn slot_base(&self, set: u64) -> usize {
-        set as usize * self.geometry.assoc() as usize
+    fn slot_base(&self, set: SetIndex) -> usize {
+        set.index() * self.geometry.assoc() as usize
     }
 
     fn way_of(&self, block: BlockId) -> Option<u32> {
@@ -115,7 +116,7 @@ impl<M> CacheArray<M> {
         let set = self.geometry.set_of(block);
         self.clock += 1;
         let clock = self.clock;
-        self.states[set as usize].on_access(self.policy, way, clock);
+        self.states[set.index()].on_access(self.policy, way, clock);
         let base = self.slot_base(set);
         self.lines[base + way as usize].as_mut()
     }
@@ -162,7 +163,7 @@ impl<M> CacheArray<M> {
         // 1. Invalid way?
         if let Some(way) = (0..ways).find(|w| self.lines[base + *w as usize].is_none()) {
             self.lines[base + way as usize] = Some(Line { block, meta });
-            self.states[set as usize].on_fill(self.policy, way, clock);
+            self.states[set.index()].on_fill(self.policy, way, clock);
             return FillOutcome {
                 way,
                 evicted: None,
@@ -181,7 +182,7 @@ impl<M> CacheArray<M> {
             }
         }
         let draw = self.rng.next_u64();
-        let state = &self.states[set as usize];
+        let state = &self.states[set.index()];
         let (way, fell_back) = match state.victim(self.policy, preferred_mask, draw) {
             Some(w) => (w, false),
             None => {
@@ -198,7 +199,7 @@ impl<M> CacheArray<M> {
         };
         let evicted = self.lines[base + way as usize].take();
         self.lines[base + way as usize] = Some(Line { block, meta });
-        self.states[set as usize].on_fill(self.policy, way, clock);
+        self.states[set.index()].on_fill(self.policy, way, clock);
         FillOutcome {
             way,
             evicted,

@@ -2,7 +2,7 @@
 
 use core::fmt;
 use serde::{Deserialize, Serialize};
-use vrcache_mem::MemError;
+use vrcache_mem::{MemError, PhysAddr, SetIndex, Tag, VirtAddr};
 
 /// A cache-block identifier: a byte address shifted right by the block bits.
 ///
@@ -165,20 +165,51 @@ impl CacheGeometry {
     }
 
     /// The block id containing a raw byte address.
+    ///
+    /// The raw entry point: a `BlockId` is space-ambiguous (see its
+    /// docs), so callers holding a typed address should prefer
+    /// [`vblock_of`](Self::vblock_of) / [`pblock_of`](Self::pblock_of),
+    /// which keep the address-domain analysis informed about which
+    /// space the block came from.
     #[inline]
     pub fn block_of(&self, raw_addr: u64) -> BlockId {
         BlockId(raw_addr >> self.block_bits())
     }
 
-    /// The set index a block maps to.
+    /// The block id containing a virtual address (the typed entry for
+    /// virtually-indexed caches; a sanctioned translation in the
+    /// address-domain analysis).
     #[inline]
-    pub fn set_of(&self, block: BlockId) -> u64 {
-        block.raw() & (self.sets() - 1)
+    pub fn vblock_of(&self, va: VirtAddr) -> BlockId {
+        self.block_of(va.raw())
+    }
+
+    /// The block id containing a physical address (the typed entry for
+    /// physically-indexed caches; a sanctioned translation in the
+    /// address-domain analysis).
+    #[inline]
+    pub fn pblock_of(&self, pa: PhysAddr) -> BlockId {
+        self.block_of(pa.raw())
+    }
+
+    /// The set index a block maps to: the low [`set_bits`](Self::set_bits)
+    /// of the block id.
+    #[inline]
+    pub fn set_of(&self, block: BlockId) -> SetIndex {
+        SetIndex::new(block.raw() & (self.sets() - 1))
+    }
+
+    /// The tag of a block: the block-id bits above the set index. Together
+    /// with [`set_of`](Self::set_of) this is the full block-id split — a
+    /// block id is exactly `(tag << set_bits) | set`.
+    #[inline]
+    pub fn tag_of(&self, block: BlockId) -> Tag {
+        Tag::new(block.raw() >> self.set_bits())
     }
 
     /// The set index a raw byte address maps to.
     #[inline]
-    pub fn set_of_addr(&self, raw_addr: u64) -> u64 {
+    pub fn set_of_addr(&self, raw_addr: u64) -> SetIndex {
         self.set_of(self.block_of(raw_addr))
     }
 
@@ -287,10 +318,28 @@ mod tests {
     #[test]
     fn set_mapping_wraps() {
         let g = CacheGeometry::direct_mapped(64, 16).unwrap(); // 4 sets
-        assert_eq!(g.set_of_addr(0), 0);
-        assert_eq!(g.set_of_addr(16), 1);
-        assert_eq!(g.set_of_addr(63), 3);
-        assert_eq!(g.set_of_addr(64), 0);
+        assert_eq!(g.set_of_addr(0), SetIndex::new(0));
+        assert_eq!(g.set_of_addr(16), SetIndex::new(1));
+        assert_eq!(g.set_of_addr(63), SetIndex::new(3));
+        assert_eq!(g.set_of_addr(64), SetIndex::new(0));
+    }
+
+    #[test]
+    fn typed_block_entries_match_the_raw_one() {
+        let g = CacheGeometry::direct_mapped(64, 16).unwrap();
+        assert_eq!(g.vblock_of(VirtAddr::new(0x123)), g.block_of(0x123));
+        assert_eq!(g.pblock_of(PhysAddr::new(0x456)), g.block_of(0x456));
+    }
+
+    #[test]
+    fn set_and_tag_are_the_block_id_split() {
+        let g = CacheGeometry::new(256, 32, 2).unwrap(); // 4 sets, 2 set bits
+        let b = g.block_of(0x7b3);
+        let set = g.set_of(b);
+        let tag = g.tag_of(b);
+        assert_eq!(set.raw(), b.raw() & 3);
+        assert_eq!(tag.raw(), b.raw() >> 2);
+        assert_eq!((tag.raw() << g.set_bits()) | set.raw(), b.raw());
     }
 
     #[test]
@@ -305,7 +354,7 @@ mod tests {
     fn fully_associative_has_one_set() {
         let g = CacheGeometry::new(128, 16, 8).unwrap();
         assert_eq!(g.sets(), 1);
-        assert_eq!(g.set_of_addr(0xdead), 0);
+        assert_eq!(g.set_of_addr(0xdead), SetIndex::new(0));
     }
 
     #[test]

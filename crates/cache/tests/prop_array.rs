@@ -92,7 +92,7 @@ proptest! {
             // Global occupancy agrees with the model.
             prop_assert_eq!(cache.occupancy(), model.len());
             // No set exceeds its associativity.
-            let mut per_set: HashMap<u64, u32> = HashMap::new();
+            let mut per_set: HashMap<vrcache_mem::SetIndex, u32> = HashMap::new();
             for line in cache.iter() {
                 *per_set.entry(geo.set_of(line.block)).or_insert(0) += 1;
             }

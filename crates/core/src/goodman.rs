@@ -373,8 +373,8 @@ impl CacheHierarchy for GoodmanHierarchy {
         debug_assert_eq!(access.cpu, self.cpu);
         self.scrub_poison();
         self.refs += 1;
-        let vblock = self.granule_geo.block_of(access.vaddr.raw());
-        let p1 = self.granule_geo.block_of(access.paddr.raw());
+        let vblock = self.granule_geo.vblock_of(access.vaddr);
+        let p1 = self.granule_geo.pblock_of(access.paddr);
 
         // ---- virtual-tag lookup ----
         if let Some(meta) = self.l1.lookup(vblock).map(|l| l.meta) {

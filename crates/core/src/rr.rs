@@ -718,7 +718,7 @@ impl CacheHierarchy for RrHierarchy {
             }
         }
 
-        let p1 = self.granule_geo.block_of(access.paddr.raw());
+        let p1 = self.granule_geo.pblock_of(access.paddr);
         let p2 = self.l2.l2_block_of(p1);
 
         // In this organization the TLB precedes the first-level access on

@@ -634,7 +634,7 @@ impl CacheHierarchy for VrHierarchy {
 
         let child = self.route(access.kind);
         let vblock = self.v_key(access.asid, access.vaddr.raw());
-        let p1 = self.granule_geo.block_of(access.paddr.raw());
+        let p1 = self.granule_geo.pblock_of(access.paddr);
         let p2 = self.l2.l2_block_of(p1);
 
         // ---- first level ----

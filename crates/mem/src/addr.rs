@@ -3,8 +3,9 @@
 //! The simulator manipulates virtual and physical addresses constantly and a
 //! mixed-up argument would silently corrupt every downstream statistic, so
 //! each kind of quantity gets its own newtype ([`VirtAddr`], [`PhysAddr`],
-//! [`Vpn`], [`Ppn`], [`Asid`]). All of them are cheap `Copy` wrappers around
-//! integers.
+//! [`Vpn`], [`Ppn`], [`Asid`]), and so do the derived quantities of the
+//! address split ([`SetIndex`], [`Tag`], [`PageOffset`]). All of them are
+//! cheap `Copy` wrappers around integers.
 
 use core::fmt;
 use serde::{Deserialize, Serialize};
@@ -56,6 +57,26 @@ pub struct Ppn(u64);
 /// virtual address belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Asid(u16);
+
+/// A cache set index: the low bits of a block id, selected by a
+/// particular cache geometry.
+///
+/// Whether a set index is derived from a virtual or a physical block
+/// depends on which address space the cache in question indexes — the
+/// newtype records only that the value is a *set selector*, so it can no
+/// longer be confused with a full address or a tag.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SetIndex(u64);
+
+/// A cache tag: the high bits of a block id above the set-index bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Tag(u64);
+
+/// A byte offset within a page (a [`VirtAddr`] or [`PhysAddr`] masked by
+/// the page bits; both spaces agree on it, which is what makes
+/// single-page synonym aliasing work).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PageOffset(u64);
 
 macro_rules! addr_impls {
     ($ty:ident, $inner:ty, $label:expr) => {
@@ -122,6 +143,20 @@ addr_impls!(PhysAddr, u64, "PhysAddr");
 addr_impls!(Vpn, u64, "Vpn");
 addr_impls!(Ppn, u64, "Ppn");
 addr_impls!(Asid, u16, "Asid");
+addr_impls!(SetIndex, u64, "SetIndex");
+addr_impls!(Tag, u64, "Tag");
+addr_impls!(PageOffset, u64, "PageOffset");
+
+impl SetIndex {
+    /// The set index as a `usize`, for indexing per-set storage.
+    ///
+    /// This is the one sanctioned raw escape for a set index: array
+    /// backing stores are addressed in `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 impl VirtAddr {
     /// Returns the address `delta` bytes above `self`.
@@ -239,5 +274,20 @@ mod tests {
     fn default_is_zero() {
         assert_eq!(VirtAddr::default().raw(), 0);
         assert_eq!(Asid::default().raw(), 0);
+    }
+
+    #[test]
+    fn set_index_tag_and_offset_round_trip() {
+        let s = SetIndex::new(0x2a);
+        assert_eq!(s.raw(), 0x2a);
+        assert_eq!(s.index(), 0x2a_usize);
+        assert_eq!(format!("{s:?}"), "SetIndex(0x2a)");
+        let t = Tag::new(7);
+        assert_eq!(t.raw(), 7);
+        assert_eq!(format!("{t:?}"), "Tag(0x7)");
+        let o = PageOffset::new(0x345);
+        assert_eq!(o.raw(), 0x345);
+        assert_eq!(u64::from(o), 0x345);
+        assert!(SetIndex::new(1) < SetIndex::new(2), "sets are orderable");
     }
 }

@@ -47,7 +47,7 @@ pub mod page_table;
 pub mod tlb;
 
 pub use access::{AccessKind, CpuId};
-pub use addr::{Asid, PhysAddr, Ppn, VirtAddr, Vpn};
+pub use addr::{Asid, PageOffset, PhysAddr, Ppn, SetIndex, Tag, VirtAddr, Vpn};
 pub use error::MemError;
 pub use page::PageSize;
 pub use page_table::MemoryMap;

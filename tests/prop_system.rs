@@ -41,15 +41,20 @@ fn translate(asid: Asid, vpage: u64) -> u64 {
     }
 }
 
+/// The ASID of a CPU's `slot`-th process: two per CPU, numbered from 1.
+fn asid_for(cpu: usize, slot: usize) -> Asid {
+    Asid::new(u16::try_from(cpu * 2 + slot + 1).expect("tiny test universe"))
+}
+
 fn materialize(steps: &[Step], active: &mut [usize; 2]) -> Vec<TraceEvent> {
     steps
         .iter()
         .map(|s| match s {
             Step::Switch(cpu) => {
                 let c = (*cpu % CPUS) as usize;
-                let from = Asid::new((c as u16) * 2 + active[c] as u16 + 1);
+                let from = asid_for(c, active[c]);
                 active[c] = 1 - active[c];
-                let to = Asid::new((c as u16) * 2 + active[c] as u16 + 1);
+                let to = asid_for(c, active[c]);
                 TraceEvent::ContextSwitch {
                     cpu: CpuId::new(c as u16),
                     from,
@@ -58,7 +63,7 @@ fn materialize(steps: &[Step], active: &mut [usize; 2]) -> Vec<TraceEvent> {
             }
             Step::Access(cpu, kind_sel, vpage_sel, offset_words) => {
                 let c = (*cpu % CPUS) as usize;
-                let asid = Asid::new((c as u16) * 2 + active[c] as u16 + 1);
+                let asid = asid_for(c, active[c]);
                 let kind = match kind_sel % 5 {
                     0 => AccessKind::DataWrite,
                     1 | 2 => AccessKind::DataRead,
