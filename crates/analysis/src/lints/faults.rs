@@ -19,6 +19,14 @@
 //!    a decline must name the kinds it declines.
 //! 3. **Unknown kind** — a `FaultKind::Variant` mention with no matching
 //!    enum variant (a rename that left a stale arm behind) is flagged.
+//!
+//! The same dead-knob argument applies to the protection axis: a
+//! `DataProtection` variant that no campaign enumerates is a scheme
+//! whose containment claims are never tested. Every variant of the
+//! `DataProtection` enum in `crates/core/src/config.rs` must be
+//! mentioned somewhere under `crates/inject/` (the campaign
+//! enumeration), and every `DataProtection::Variant` mention there must
+//! name a real variant.
 
 use std::collections::BTreeSet;
 
@@ -26,6 +34,10 @@ use crate::{code_portion, Diagnostic, Workspace};
 
 /// Where the fault model (the `FaultKind` enum) lives.
 pub const FAULT_PATH: &str = "crates/core/src/fault.rs";
+/// Where the protection knob (the `DataProtection` enum) lives.
+pub const CONFIG_PATH: &str = "crates/core/src/config.rs";
+/// The crate whose sources must exercise every protection scheme.
+const INJECT_PREFIX: &str = "crates/inject/";
 
 // Needles are concat!-split so this file's own string literals do not
 // register as implementation sites when the workspace is scanned.
@@ -33,6 +45,8 @@ const ENUM_NEEDLE: &str = concat!("pub enum Fault", "Kind");
 const IMPL_NEEDLE: &str = concat!("impl Fault", "Port for ");
 const FN_NEEDLE: &str = concat!("fn inject_", "fault(");
 const KIND_NEEDLE: &str = concat!("Fault", "Kind::");
+const DP_ENUM_NEEDLE: &str = concat!("pub enum Data", "Protection");
+const DP_NEEDLE: &str = concat!("Data", "Protection::");
 
 /// Counts `{`/`}` on a line, ignoring comment tails and string literals.
 fn brace_delta(raw: &str) -> i32 {
@@ -54,19 +68,17 @@ fn brace_delta(raw: &str) -> i32 {
     delta
 }
 
-/// The `FaultKind` variant names parsed from the enum body in
-/// `crates/core/src/fault.rs`, or an empty set if the enum cannot be
-/// found.
-fn fault_kinds(ws: &Workspace) -> BTreeSet<String> {
+/// The unit-variant names of the enum introduced by `needle` in `text`,
+/// plus the 1-based line the enum starts on. Empty when not found.
+fn enum_variants(text: &str, needle: &str) -> (BTreeSet<String>, usize) {
     let mut out = BTreeSet::new();
-    let Some(file) = ws.file(FAULT_PATH) else {
-        return out;
-    };
+    let mut enum_line = 0;
     let mut in_enum = false;
-    for raw in file.text.lines() {
+    for (idx, raw) in text.lines().enumerate() {
         let line = code_portion(raw);
-        if line.contains(ENUM_NEEDLE) {
+        if line.contains(needle) {
             in_enum = true;
+            enum_line = idx + 1;
             continue;
         }
         if in_enum {
@@ -85,7 +97,16 @@ fn fault_kinds(ws: &Workspace) -> BTreeSet<String> {
             }
         }
     }
-    out
+    (out, enum_line)
+}
+
+/// The `FaultKind` variant names parsed from the enum body in
+/// `crates/core/src/fault.rs`, or an empty set if the enum cannot be
+/// found.
+fn fault_kinds(ws: &Workspace) -> BTreeSet<String> {
+    ws.file(FAULT_PATH)
+        .map(|f| enum_variants(&f.text, ENUM_NEEDLE).0)
+        .unwrap_or_default()
 }
 
 /// One `impl FaultPort for <Type>` site: the implementing type, the
@@ -149,14 +170,15 @@ fn port_impls(text: &str) -> Vec<PortImpl> {
     out
 }
 
-/// Collects every `FaultKind::Variant` mentioned in `region`.
-fn mentioned_kinds(region: &str) -> BTreeSet<String> {
+/// Collects every `<needle>Variant` path mentioned in `region` (comments
+/// and doc lines stripped).
+fn mentions(region: &str, needle: &str) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     for raw in region.lines() {
         let line = code_portion(raw);
         let mut rest = line;
-        while let Some(pos) = rest.find(KIND_NEEDLE) {
-            let after = &rest[pos + KIND_NEEDLE.len()..];
+        while let Some(pos) = rest.find(needle) {
+            let after = &rest[pos + needle.len()..];
             let ident: String = after
                 .chars()
                 .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
@@ -170,6 +192,11 @@ fn mentioned_kinds(region: &str) -> BTreeSet<String> {
     out
 }
 
+/// Collects every `FaultKind::Variant` mentioned in `region`.
+fn mentioned_kinds(region: &str) -> BTreeSet<String> {
+    mentions(region, KIND_NEEDLE)
+}
+
 /// True when `region` contains a wildcard match arm (`_ =>`).
 fn has_wildcard_arm(region: &str) -> bool {
     region.lines().any(|raw| {
@@ -179,9 +206,64 @@ fn has_wildcard_arm(region: &str) -> bool {
     })
 }
 
+/// Cross-checks the `DataProtection` enum against the campaign crate:
+/// every protection scheme must be enumerated under `crates/inject/`
+/// (a variant no campaign sweeps is a dead knob whose containment
+/// claims are never tested), and no campaign source may name a scheme
+/// the enum no longer has.
+fn check_protection_exercise(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(config) = ws.file(CONFIG_PATH) else {
+        return;
+    };
+    let (variants, enum_line) = enum_variants(&config.text, DP_ENUM_NEEDLE);
+    if variants.is_empty() {
+        return;
+    }
+    let mut exercised = BTreeSet::new();
+    for file in &ws.sources {
+        if !file.rel_path.starts_with(INJECT_PREFIX) {
+            continue;
+        }
+        for ident in mentions(&file.text, DP_NEEDLE) {
+            // Associated consts (`DataProtection::ALL`) are
+            // SCREAMING_CASE; only CamelCase paths are variant mentions.
+            if ident.chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+                continue;
+            }
+            if !variants.contains(&ident) {
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: 0,
+                    lint: "fault-coverage",
+                    message: format!(
+                        "unknown protection scheme: `{DP_NEEDLE}{ident}` is mentioned under \
+                         {INJECT_PREFIX} but the enum has no such variant"
+                    ),
+                });
+            }
+            exercised.insert(ident);
+        }
+    }
+    for variant in &variants {
+        if !exercised.contains(variant) {
+            out.push(Diagnostic {
+                file: CONFIG_PATH.into(),
+                line: enum_line,
+                lint: "fault-coverage",
+                message: format!(
+                    "unexercised protection scheme: `{DP_NEEDLE}{variant}` never appears \
+                     under {INJECT_PREFIX} — every data-protection variant must be swept \
+                     by a campaign's protection axis"
+                ),
+            });
+        }
+    }
+}
+
 /// Runs the fault-site coverage lint.
 pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    check_protection_exercise(ws, &mut out);
     let kinds = fault_kinds(ws);
     if kinds.is_empty() {
         // No fault model in this tree (or the enum moved): nothing to
@@ -392,6 +474,113 @@ mod tests {
              FaultKind::BusDropTxn => None,\n",
         );
         assert_eq!(check(&ws), vec![]);
+    }
+
+    fn protection_enum() -> SourceFile {
+        SourceFile::new(
+            CONFIG_PATH,
+            format!("{DP_ENUM_NEEDLE} {{\n    /// doc\n    None,\n    Parity,\n    Secded,\n}}\n"),
+        )
+    }
+
+    #[test]
+    fn exercised_protection_axis_is_clean() {
+        let ws = Workspace {
+            sources: vec![
+                protection_enum(),
+                SourceFile::new(
+                    "crates/inject/src/campaign.rs",
+                    format!(
+                        "fn axis() {{\n    let _ = ({DP_NEEDLE}None, {DP_NEEDLE}Parity, \
+                         {DP_NEEDLE}Secded);\n}}\n"
+                    ),
+                ),
+            ],
+            ..Workspace::default()
+        };
+        assert_eq!(check(&ws), vec![]);
+    }
+
+    #[test]
+    fn unswept_protection_variant_is_flagged() {
+        let ws = Workspace {
+            sources: vec![
+                protection_enum(),
+                SourceFile::new(
+                    "crates/inject/src/campaign.rs",
+                    format!(
+                        "fn axis() {{\n    let _ = ({DP_NEEDLE}None, {DP_NEEDLE}Parity);\n}}\n"
+                    ),
+                ),
+            ],
+            ..Workspace::default()
+        };
+        let diags = check(&ws);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("unexercised protection scheme")
+                    && d.message.contains("Secded")
+                    && d.file == CONFIG_PATH),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn mentions_outside_the_inject_crate_do_not_count() {
+        let ws = Workspace {
+            sources: vec![
+                protection_enum(),
+                SourceFile::new(
+                    "crates/core/src/vr.rs",
+                    format!("fn scrub() {{\n    let _ = {DP_NEEDLE}Secded;\n}}\n"),
+                ),
+                SourceFile::new(
+                    "crates/inject/src/campaign.rs",
+                    format!(
+                        "fn axis() {{\n    let _ = ({DP_NEEDLE}None, {DP_NEEDLE}Parity);\n}}\n"
+                    ),
+                ),
+            ],
+            ..Workspace::default()
+        };
+        let diags = check(&ws);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("unexercised") && d.message.contains("Secded")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn stale_protection_mention_is_unknown() {
+        let ws = Workspace {
+            sources: vec![
+                protection_enum(),
+                SourceFile::new(
+                    "crates/inject/src/campaign.rs",
+                    format!(
+                        "fn axis() {{\n    let _ = {DP_NEEDLE}ALL;\n    let _ = \
+                         ({DP_NEEDLE}None, {DP_NEEDLE}Parity, {DP_NEEDLE}Secded, \
+                         {DP_NEEDLE}Chipkill);\n}}\n"
+                    ),
+                ),
+            ],
+            ..Workspace::default()
+        };
+        let diags = check(&ws);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("unknown protection scheme")
+                    && d.message.contains("Chipkill")),
+            "{diags:?}"
+        );
+        assert!(
+            !diags.iter().any(|d| d.message.contains("ALL")),
+            "associated consts are not variant mentions: {diags:?}"
+        );
     }
 
     #[test]

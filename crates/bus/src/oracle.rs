@@ -32,6 +32,15 @@ impl Version {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// This version with bit `bit % 64` of its raw counter flipped — the
+    /// modeled effect of a data-array upset on the stored stamp. XOR is
+    /// self-inverse, so applying the same flip again restores the
+    /// original (how SECDED correction is modeled).
+    #[must_use]
+    pub fn with_bit_flipped(self, bit: u32) -> Version {
+        Version(self.0 ^ (1u64 << (bit % 64)))
+    }
 }
 
 impl fmt::Debug for Version {
@@ -214,6 +223,18 @@ mod tests {
         assert!(o
             .check_read(cpu(1), BlockId::new(2), Version::INITIAL)
             .is_ok());
+    }
+
+    #[test]
+    fn bit_flip_is_self_inverse() {
+        let mut o = VersionOracle::new();
+        let v = o.on_write(cpu(0), BlockId::new(3));
+        let flipped = v.with_bit_flipped(17);
+        assert_ne!(flipped, v);
+        assert_eq!(flipped.raw(), v.raw() ^ (1 << 17));
+        assert_eq!(flipped.with_bit_flipped(17), v);
+        // The shift distance wraps at the word width.
+        assert_eq!(v.with_bit_flipped(64), v.with_bit_flipped(0));
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   levels, with full-stall accounting and coherence hooks (the paper's
 //!   *buffer bit* points at entries living here),
 //! * [`stats`] — per-access-class (instruction / data-read / data-write)
-//!   hit-ratio bookkeeping matching the rows of Tables 8–10.
+//!   hit-ratio bookkeeping matching the rows of Tables 8–10,
+//! * [`syndrome`] — the Hamming(72,64) SECDED codeword model used for
+//!   data-array protection in the fault campaigns.
 //!
 //! [`CacheArray<M>`]: array::CacheArray
 
@@ -26,12 +28,14 @@ pub mod array;
 pub mod geometry;
 pub mod replacement;
 pub mod stats;
+pub mod syndrome;
 pub mod write_buffer;
 
 pub use array::{CacheArray, FillOutcome, Line};
 pub use geometry::{BlockId, CacheGeometry};
 pub use replacement::ReplacementPolicy;
 pub use stats::{AccessKind, CacheStats};
+pub use syndrome::{Codeword, Decode};
 pub use write_buffer::WriteBuffer;
 
 /// Re-exported error type: the substrate shares `vrcache-mem`'s error enum

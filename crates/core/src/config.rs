@@ -68,6 +68,59 @@ pub enum L1Organization {
     Split,
 }
 
+/// Protection on the V-cache and R-cache *data* arrays — the largest
+/// SRAM structures in the hierarchy, unprotected under the plain
+/// metadata-parity model.
+///
+/// The fault campaigns model a data upset as one flipped bit of the
+/// stored oracle version stamp ([`FaultKind::VDataBit`] /
+/// [`FaultKind::RDataBit`]). What the hierarchy does about it depends on
+/// this knob:
+///
+/// * `None` — the corruption propagates silently (the next read of the
+///   word is a potential SDC),
+/// * `Parity` — the corruption is *detected* at the next hierarchy
+///   operation: a clean line is discarded and refetched, a dirty line
+///   (the only current copy) degrades to a contained machine check —
+///   the asymmetry the write-back design forces,
+/// * `Secded` — a Hamming(72,64) code locates the flipped bit and the
+///   word is corrected in place
+///   ([`secded_corrections`](crate::events::HierarchyEvents::secded_corrections));
+///   only multi-bit upsets fall back to the parity behavior.
+///
+/// [`FaultKind::VDataBit`]: crate::fault::FaultKind::VDataBit
+/// [`FaultKind::RDataBit`]: crate::fault::FaultKind::RDataBit
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DataProtection {
+    /// Unprotected data arrays (the default): upsets propagate silently.
+    #[default]
+    None,
+    /// Per-word parity: detect-and-discard (clean) or machine check
+    /// (dirty).
+    Parity,
+    /// Single-error-correct, double-error-detect: single-bit upsets are
+    /// corrected in place.
+    Secded,
+}
+
+impl DataProtection {
+    /// All variants, in severity order.
+    pub const ALL: [DataProtection; 3] = [
+        DataProtection::None,
+        DataProtection::Parity,
+        DataProtection::Secded,
+    ];
+
+    /// Stable lower-case label used in campaign run ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataProtection::None => "none",
+            DataProtection::Parity => "parity",
+            DataProtection::Secded => "secded",
+        }
+    }
+}
+
 /// Configuration shared by the V-R hierarchy and the R-R baselines.
 ///
 /// # Example
@@ -142,6 +195,10 @@ pub struct HierarchyConfig {
     /// ([`parity_machine_checks`](crate::events::HierarchyEvents::parity_machine_checks)).
     /// With parity off (the default), injected faults propagate silently.
     pub parity: bool,
+    /// Protection on the V/R *data* arrays (independent of the
+    /// metadata [`parity`](Self::parity) knob — real designs often pair
+    /// parity tags with ECC data).
+    pub data_protection: DataProtection,
 }
 
 impl HierarchyConfig {
@@ -183,6 +240,7 @@ impl HierarchyConfig {
             protocol: CoherenceProtocol::default(),
             runtime_checks: None,
             parity: false,
+            data_protection: DataProtection::None,
         })
     }
 
@@ -293,6 +351,13 @@ impl HierarchyConfig {
         self
     }
 
+    /// Selects the data-array protection scheme (see [`DataProtection`]).
+    #[must_use]
+    pub fn with_data_protection(mut self, protection: DataProtection) -> Self {
+        self.data_protection = protection;
+        self
+    }
+
     /// Number of first-level blocks per second-level block (`B2/B1`).
     pub fn subblocks(&self) -> u32 {
         self.l2.subblocks_per_block(&self.l1)
@@ -361,6 +426,16 @@ mod tests {
         assert_eq!(c.l1_org, L1Organization::Split);
         assert_eq!(c.write_buffer, 4);
         assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn data_protection_defaults_off_and_chains() {
+        let c = HierarchyConfig::paper_default().unwrap();
+        assert_eq!(c.data_protection, DataProtection::None);
+        let c = c.with_data_protection(DataProtection::Secded);
+        assert_eq!(c.data_protection, DataProtection::Secded);
+        let labels: Vec<&str> = DataProtection::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["none", "parity", "secded"]);
     }
 
     #[test]

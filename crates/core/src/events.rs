@@ -79,6 +79,11 @@ pub struct HierarchyEvents {
     /// stays structurally sound but modified data may have been lost, so
     /// the run must be declared failed (loudly, never silently).
     pub parity_machine_checks: u64,
+    /// Single-bit data-array upsets corrected in place by SECDED
+    /// (`DataProtection::Secded`): the stored word was repaired from its
+    /// syndrome, no refetch and no data loss. Like the parity counters,
+    /// not protocol traffic.
+    pub secded_corrections: u64,
 
     // ---- ablation counters ----
     /// Dirty lines written back *at switch time* under the eager-flush

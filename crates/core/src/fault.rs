@@ -42,15 +42,20 @@
 use core::fmt;
 
 use vrcache_cache::geometry::BlockId;
+use vrcache_cache::syndrome::Codeword;
 use vrcache_mem::addr::{Asid, Vpn};
 
 use crate::rcache::ChildCache;
 
 /// One kind of single-point corruption of live hierarchy state.
 ///
-/// The first ten target a specific structure and are injected through
-/// [`FaultPort::inject_fault`]; the last three corrupt bus transactions
-/// in flight and are armed at the campaign harness's bus wrapper.
+/// The structural kinds target a specific structure and are injected
+/// through [`FaultPort::inject_fault`]; the `Bus*` kinds corrupt bus
+/// transactions in flight and are armed at the campaign harness's bus
+/// wrapper. The data-bit kinds ([`is_data_level`](Self::is_data_level))
+/// corrupt the *data* arrays — what the hierarchy does about those is
+/// governed by [`DataProtection`](crate::config::DataProtection), not by
+/// the metadata parity knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultKind {
     /// Flip a tag bit of a V-cache (or physical L1) line: the line now
@@ -76,6 +81,11 @@ pub enum FaultKind {
     TlbEntryFlip,
     /// Drop one pending entry from the write-back buffer.
     WriteBufferDrop,
+    /// Flip one data bit of a V-cache (or physical L1) line: the stored
+    /// word no longer matches what was written.
+    VDataBit,
+    /// Flip one data bit of an R-cache / L2 line's stored word.
+    RDataBit,
     /// Drop a bus transaction: the issuer sees a fabricated empty
     /// response and no other agent observes the request.
     BusDropTxn,
@@ -87,7 +97,7 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// Every fault kind, in report-label order.
-    pub const ALL: [FaultKind; 13] = [
+    pub const ALL: [FaultKind; 15] = [
         FaultKind::VTagFlip,
         FaultKind::VStateFlip,
         FaultKind::RPointerFlip,
@@ -98,6 +108,8 @@ impl FaultKind {
         FaultKind::CohStateFlip,
         FaultKind::TlbEntryFlip,
         FaultKind::WriteBufferDrop,
+        FaultKind::VDataBit,
+        FaultKind::RDataBit,
         FaultKind::BusDropTxn,
         FaultKind::BusDuplicateTxn,
         FaultKind::BusLostInvalidate,
@@ -110,6 +122,13 @@ impl FaultKind {
             self,
             FaultKind::BusDropTxn | FaultKind::BusDuplicateTxn | FaultKind::BusLostInvalidate
         )
+    }
+
+    /// Whether this kind corrupts a *data* array word (covered by
+    /// [`DataProtection`](crate::config::DataProtection)) rather than
+    /// tag/state/linking metadata (covered by the parity knob).
+    pub const fn is_data_level(self) -> bool {
+        matches!(self, FaultKind::VDataBit | FaultKind::RDataBit)
     }
 
     /// Stable report label.
@@ -125,6 +144,8 @@ impl FaultKind {
             FaultKind::CohStateFlip => "coh-state-flip",
             FaultKind::TlbEntryFlip => "tlb-entry-flip",
             FaultKind::WriteBufferDrop => "write-buffer-drop",
+            FaultKind::VDataBit => "v-data-bit",
+            FaultKind::RDataBit => "r-data-bit",
             FaultKind::BusDropTxn => "bus-drop-txn",
             FaultKind::BusDuplicateTxn => "bus-duplicate-txn",
             FaultKind::BusLostInvalidate => "bus-lost-invalidate",
@@ -203,6 +224,25 @@ pub(crate) enum Poison {
         /// First-level block id of the lost pending write.
         p1: BlockId,
     },
+    /// A first-level *data* word (carries the corrupted SECDED codeword
+    /// so scrub can decode the syndrome and correct in place).
+    L1Data {
+        /// Which first-level front holds the line.
+        child: ChildCache,
+        /// The line's lookup key (data faults never change the key).
+        key: BlockId,
+        /// The stored, corrupted codeword.
+        stored: Codeword,
+    },
+    /// An R-cache / L2 subentry's *data* word.
+    L2Data {
+        /// The line's physical block id.
+        p2: BlockId,
+        /// Index of the corrupted subentry within the line.
+        sub: usize,
+        /// The stored, corrupted codeword.
+        stored: Codeword,
+    },
 }
 
 /// Flips the lowest tag bit of `key` for a cache with `set_bits`
@@ -238,6 +278,19 @@ mod tests {
                 FaultKind::BusLostInvalidate,
             ]
         );
+    }
+
+    #[test]
+    fn data_level_kinds_are_exactly_the_data_ones() {
+        let data: Vec<FaultKind> = FaultKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| k.is_data_level())
+            .collect();
+        assert_eq!(data, vec![FaultKind::VDataBit, FaultKind::RDataBit]);
+        for k in data {
+            assert!(!k.is_bus_level());
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ use vrcache_bus::oracle::{CoherenceViolation, Version, VersionOracle};
 use vrcache_bus::txn::{BusOp, BusTransaction};
 use vrcache_cache::geometry::{BlockId, CacheGeometry};
 use vrcache_cache::stats::CacheStats;
+use vrcache_cache::syndrome::{Codeword, Decode};
 use vrcache_cache::write_buffer::WriteBufferStats;
 use vrcache_mem::access::CpuId;
 use vrcache_mem::addr::{Asid, Vpn};
@@ -36,7 +37,7 @@ use vrcache_mem::tlb::Tlb;
 use vrcache_trace::record::MemAccess;
 
 use crate::bus_api::{BusRequest, SnoopReply, SystemBus};
-use crate::config::HierarchyConfig;
+use crate::config::{DataProtection, HierarchyConfig};
 use crate::events::HierarchyEvents;
 use crate::fault::{self, FaultKind, FaultPort, FaultRecord, Poison};
 use crate::hierarchy::{AccessOutcome, BlockPresence, CacheHierarchy, SynonymKind};
@@ -66,6 +67,8 @@ pub struct GoodmanHierarchy {
     last_wb_at: Option<u64>,
     /// Modeled parity on the dual tag stores and the TLB.
     parity: bool,
+    /// Modeled protection on the data array.
+    data_protection: DataProtection,
     /// Outstanding parity syndromes, scrubbed at the next operation.
     poison: Vec<Poison>,
 }
@@ -113,6 +116,7 @@ impl GoodmanHierarchy {
             refs: 0,
             last_wb_at: None,
             parity: cfg.parity,
+            data_protection: cfg.data_protection,
             poison: Vec::new(),
         }
     }
@@ -205,9 +209,12 @@ impl GoodmanHierarchy {
                     self.tlb.flush_asid_vpn(asid, vpn);
                     self.events.parity_refetches += 1;
                 }
-                // There is no write buffer in the single-level scheme, so
-                // no injection ever records this syndrome.
+                Poison::L1Data { key, stored, .. } => self.scrub_data(key, stored),
+                // There is no write buffer and no second-level data
+                // array in the single-level scheme, so no injection
+                // ever records these syndromes.
                 Poison::WbEntry { .. } => {}
+                Poison::L2Data { .. } => {}
             }
         }
     }
@@ -221,15 +228,45 @@ impl GoodmanHierarchy {
         };
         self.reverse.remove(&line.meta.p_block);
         self.private.remove(&line.meta.p_block);
-        if kind == FaultKind::VTagFlip && !line.meta.dirty {
+        if matches!(kind, FaultKind::VTagFlip | FaultKind::VDataBit) && !line.meta.dirty {
             self.events.parity_refetches += 1;
         } else {
             self.events.parity_machine_checks += 1;
         }
     }
 
+    /// Recovers a poisoned *data* word: SECDED corrects it in place,
+    /// plain data parity discards the line (refetch if clean, machine
+    /// check if dirty).
+    fn scrub_data(&mut self, key: BlockId, stored: Codeword) {
+        if self.data_protection == DataProtection::Secded {
+            match stored.syndrome_decode() {
+                Decode::Clean => return,
+                Decode::Corrected { data_bit } => {
+                    if let Some(bit) = data_bit {
+                        if let Some(line) = self.l1.peek_mut(key) {
+                            line.meta.version = line.meta.version.with_bit_flipped(bit);
+                        }
+                    }
+                    self.events.secded_corrections += 1;
+                    return;
+                }
+                Decode::DoubleError => {}
+            }
+        }
+        self.scrub_line(FaultKind::VDataBit, key);
+    }
+
     fn record_poison(&mut self, poison: Poison) {
         if self.parity {
+            self.poison.push(poison);
+        }
+    }
+
+    /// Records a *data*-array syndrome, gated on the data-protection
+    /// knob rather than metadata parity.
+    fn record_data_poison(&mut self, poison: Poison) {
+        if self.data_protection != DataProtection::None {
             self.poison.push(poison);
         }
     }
@@ -274,6 +311,29 @@ impl GoodmanHierarchy {
             });
         }
         None
+    }
+
+    /// Flips one data bit of a cache line's stored word.
+    fn inject_data_bit(&mut self, seed: u64) -> Option<FaultRecord> {
+        let (key, meta) = self.pick_line(seed)?;
+        let bit = (seed % 64) as u32;
+        let mut stored = Codeword::encode(meta.version.raw());
+        stored.flip_data_bit(bit);
+        let corrupted = meta.version.with_bit_flipped(bit);
+        let line = self.l1.peek_mut(key)?;
+        line.meta.version = corrupted;
+        self.record_data_poison(Poison::L1Data {
+            child: crate::rcache::ChildCache::Data,
+            key,
+            stored,
+        });
+        Some(FaultRecord {
+            kind: FaultKind::VDataBit,
+            detail: format!(
+                "line {key} data bit {bit} flipped ({} -> {corrupted}) dirty={}",
+                meta.version, meta.dirty
+            ),
+        })
     }
 }
 
@@ -350,12 +410,15 @@ impl FaultPort for GoodmanHierarchy {
                     detail: format!("tlb asid {} vpn {:#x}", asid.raw(), vpn.raw()),
                 })
             }
-            // No second level, no subentries, no write buffer.
+            FaultKind::VDataBit => self.inject_data_bit(seed),
+            // No second level, no subentries, no write buffer — and no
+            // second-level data array for RDataBit to hit.
             FaultKind::RInclusionFlip
             | FaultKind::RBufferFlip
             | FaultKind::RVdirtyFlip
             | FaultKind::VPointerFlip
             | FaultKind::WriteBufferDrop
+            | FaultKind::RDataBit
             | FaultKind::BusDropTxn
             | FaultKind::BusDuplicateTxn
             | FaultKind::BusLostInvalidate => None,

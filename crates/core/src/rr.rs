@@ -23,6 +23,7 @@ use vrcache_bus::txn::{BusOp, BusTransaction};
 use vrcache_cache::array::{CacheArray, Line};
 use vrcache_cache::geometry::{BlockId, CacheGeometry};
 use vrcache_cache::stats::CacheStats;
+use vrcache_cache::syndrome::{Codeword, Decode};
 use vrcache_cache::write_buffer::WriteBuffer;
 use vrcache_mem::access::CpuId;
 use vrcache_mem::addr::{Asid, Vpn};
@@ -30,7 +31,7 @@ use vrcache_mem::tlb::Tlb;
 use vrcache_trace::record::MemAccess;
 
 use crate::bus_api::{BusRequest, SnoopReply, SystemBus};
-use crate::config::{HierarchyConfig, L1Organization};
+use crate::config::{DataProtection, HierarchyConfig, L1Organization};
 use crate::events::HierarchyEvents;
 use crate::fault::{self, FaultKind, FaultPort, FaultRecord, Poison};
 use crate::hierarchy::{AccessOutcome, CacheHierarchy};
@@ -76,6 +77,8 @@ pub struct RrHierarchy {
     last_wb_at: Option<u64>,
     /// Modeled parity on the tag/state arrays and the TLB.
     parity: bool,
+    /// Modeled protection on the data arrays.
+    data_protection: DataProtection,
     /// Outstanding parity syndromes, scrubbed at the next operation.
     poison: Vec<Poison>,
 }
@@ -119,6 +122,7 @@ impl RrHierarchy {
             refs: 0,
             last_wb_at: None,
             parity: cfg.parity,
+            data_protection: cfg.data_protection,
             poison: Vec::new(),
         }
     }
@@ -448,6 +452,8 @@ impl RrHierarchy {
             match p {
                 Poison::L1Line { kind, key, .. } => self.scrub_l1_line(kind, key),
                 Poison::L2Line { kind, p2 } => self.scrub_l2_line(kind, p2),
+                Poison::L1Data { key, stored, .. } => self.scrub_l1_data(key, stored),
+                Poison::L2Data { p2, sub, stored } => self.scrub_l2_data(p2, sub, stored),
                 Poison::TlbEntry { asid, vpn } => {
                     self.tlb.flush_asid_vpn(asid, vpn);
                     self.events.parity_refetches += 1;
@@ -479,7 +485,7 @@ impl RrHierarchy {
         if self.inclusive() {
             self.repair_dangling_inclusion();
         }
-        if kind == FaultKind::VTagFlip && !dirty {
+        if matches!(kind, FaultKind::VTagFlip | FaultKind::VDataBit) && !dirty {
             self.events.parity_refetches += 1;
         } else {
             // A flipped dirty bit leaves the true value unknown; a dirty
@@ -529,15 +535,69 @@ impl RrHierarchy {
         if let Some(line) = self.l2.invalidate(p2) {
             lost_dirty |= line.meta.rdirty;
         }
-        if kind == FaultKind::CohStateFlip && !lost_dirty {
+        if matches!(kind, FaultKind::CohStateFlip | FaultKind::RDataBit) && !lost_dirty {
             self.events.parity_refetches += 1;
         } else {
             self.events.parity_machine_checks += 1;
         }
     }
 
+    /// Recovers a poisoned first-level *data* word: SECDED corrects it
+    /// in place from the syndrome; plain data parity (or a multi-bit
+    /// upset) discards the line — refetch if clean, machine check if
+    /// dirty.
+    fn scrub_l1_data(&mut self, key: BlockId, stored: Codeword) {
+        if self.data_protection == DataProtection::Secded {
+            match stored.syndrome_decode() {
+                Decode::Clean => return,
+                Decode::Corrected { data_bit } => {
+                    if let Some(bit) = data_bit {
+                        if let Some(line) = self.l1.peek_mut(key) {
+                            line.meta.version = line.meta.version.with_bit_flipped(bit);
+                        }
+                    }
+                    self.events.secded_corrections += 1;
+                    return;
+                }
+                Decode::DoubleError => {}
+            }
+        }
+        self.scrub_l1_line(FaultKind::VDataBit, key);
+    }
+
+    /// Recovers a poisoned second-level subentry *data* word (same
+    /// policy as [`scrub_l1_data`](Self::scrub_l1_data)).
+    fn scrub_l2_data(&mut self, p2: BlockId, sub: usize, stored: Codeword) {
+        if self.data_protection == DataProtection::Secded {
+            match stored.syndrome_decode() {
+                Decode::Clean => return,
+                Decode::Corrected { data_bit } => {
+                    if let Some(bit) = data_bit {
+                        if let Some(line) = self.l2.peek_mut(p2) {
+                            if let Some(s) = line.meta.subs.get_mut(sub) {
+                                s.version = s.version.with_bit_flipped(bit);
+                            }
+                        }
+                    }
+                    self.events.secded_corrections += 1;
+                    return;
+                }
+                Decode::DoubleError => {}
+            }
+        }
+        self.scrub_l2_line(FaultKind::RDataBit, p2);
+    }
+
     fn record_poison(&mut self, poison: Poison) {
         if self.parity {
+            self.poison.push(poison);
+        }
+    }
+
+    /// Records a *data*-array syndrome, gated on the data-protection
+    /// knob rather than metadata parity.
+    fn record_data_poison(&mut self, poison: Poison) {
+        if self.data_protection != DataProtection::None {
             self.poison.push(poison);
         }
     }
@@ -646,6 +706,73 @@ impl RrHierarchy {
         self.record_poison(Poison::L2Line { kind, p2 });
         Some(FaultRecord { kind, detail })
     }
+
+    /// Flips one data bit of a first-level line's stored word.
+    fn inject_l1_data_bit(&mut self, seed: u64) -> Option<FaultRecord> {
+        let lines: Vec<(BlockId, Version, bool)> = self
+            .l1
+            .iter()
+            .map(|l| (l.block, l.meta.version, l.meta.dirty))
+            .collect();
+        if lines.is_empty() {
+            return None;
+        }
+        let (key, version, dirty) = lines[(seed % lines.len() as u64) as usize];
+        let bit = (seed % 64) as u32;
+        let mut stored = Codeword::encode(version.raw());
+        stored.flip_data_bit(bit);
+        let corrupted = version.with_bit_flipped(bit);
+        let line = self.l1.peek_mut(key)?;
+        line.meta.version = corrupted;
+        self.record_data_poison(Poison::L1Data {
+            child: ChildCache::Data,
+            key,
+            stored,
+        });
+        Some(FaultRecord {
+            kind: FaultKind::VDataBit,
+            detail: format!(
+                "l1 line {key} data bit {bit} flipped ({version} -> {corrupted}) dirty={dirty}"
+            ),
+        })
+    }
+
+    /// Flips one data bit of a second-level subentry's stored word,
+    /// preferring a subentry whose copy is authoritative at this level.
+    fn inject_l2_data_bit(&mut self, seed: u64) -> Option<FaultRecord> {
+        let mut preferred: Vec<(BlockId, usize, Version)> = Vec::new();
+        let mut any: Vec<(BlockId, usize, Version)> = Vec::new();
+        for line in self.l2.iter() {
+            for (si, sub) in line.meta.subs.iter().enumerate() {
+                any.push((line.block, si, sub.version));
+                if !sub.vdirty && !sub.buffer {
+                    preferred.push((line.block, si, sub.version));
+                }
+            }
+        }
+        let pool = if preferred.is_empty() { any } else { preferred };
+        if pool.is_empty() {
+            return None;
+        }
+        let (p2, si, version) = pool[(seed % pool.len() as u64) as usize];
+        let bit = (seed % 64) as u32;
+        let mut stored = Codeword::encode(version.raw());
+        stored.flip_data_bit(bit);
+        let corrupted = version.with_bit_flipped(bit);
+        let line = self.l2.peek_mut(p2)?;
+        line.meta.subs[si].version = corrupted;
+        self.record_data_poison(Poison::L2Data {
+            p2,
+            sub: si,
+            stored,
+        });
+        Some(FaultRecord {
+            kind: FaultKind::RDataBit,
+            detail: format!(
+                "l2 line {p2} sub {si} data bit {bit} flipped ({version} -> {corrupted})"
+            ),
+        })
+    }
 }
 
 impl FaultPort for RrHierarchy {
@@ -695,6 +822,8 @@ impl FaultPort for RrHierarchy {
                     detail: format!("write buffer lost pending {p1}"),
                 })
             }
+            FaultKind::VDataBit => self.inject_l1_data_bit(seed),
+            FaultKind::RDataBit => self.inject_l2_data_bit(seed),
             FaultKind::BusDropTxn | FaultKind::BusDuplicateTxn | FaultKind::BusLostInvalidate => {
                 None
             }

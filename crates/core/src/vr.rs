@@ -33,6 +33,7 @@ use vrcache_bus::txn::{BusOp, BusTransaction};
 use vrcache_cache::array::Line;
 use vrcache_cache::geometry::{BlockId, CacheGeometry};
 use vrcache_cache::stats::CacheStats;
+use vrcache_cache::syndrome::{Codeword, Decode};
 use vrcache_cache::write_buffer::WriteBuffer;
 use vrcache_mem::access::{AccessKind, CpuId};
 use vrcache_mem::addr::{Asid, Vpn};
@@ -41,7 +42,8 @@ use vrcache_trace::record::MemAccess;
 
 use crate::bus_api::{BusRequest, SnoopReply, SystemBus};
 use crate::config::{
-    CoherenceProtocol, ContextSwitchPolicy, HierarchyConfig, L1Organization, L1WritePolicy,
+    CoherenceProtocol, ContextSwitchPolicy, DataProtection, HierarchyConfig, L1Organization,
+    L1WritePolicy,
 };
 use crate::events::HierarchyEvents;
 use crate::fault::{self, FaultKind, FaultPort, FaultRecord, Poison};
@@ -77,6 +79,8 @@ pub struct VrHierarchy {
     checker: InvariantChecker,
     /// Modeled parity on the tag/state arrays and the TLB.
     parity: bool,
+    /// Modeled protection on the V/R data arrays.
+    data_protection: DataProtection,
     /// Outstanding parity syndromes, scrubbed at the next operation.
     poison: Vec<Poison>,
 }
@@ -127,6 +131,7 @@ impl VrHierarchy {
             last_swapped_wb_at: None,
             checker: InvariantChecker::new(cfg.runtime_checks),
             parity: cfg.parity,
+            data_protection: cfg.data_protection,
             poison: Vec::new(),
         }
     }
@@ -1068,6 +1073,8 @@ impl VrHierarchy {
             match p {
                 Poison::L1Line { kind, child, key } => self.scrub_v_line(kind, child, key),
                 Poison::L2Line { kind, p2 } => self.scrub_r_line(kind, p2),
+                Poison::L1Data { child, key, stored } => self.scrub_v_data(child, key, stored),
+                Poison::L2Data { p2, sub, stored } => self.scrub_r_data(p2, sub, stored),
                 Poison::TlbEntry { asid, vpn } => {
                     // A corrupted translation is simply re-walked: flush
                     // the entry and let the next miss refill it.
@@ -1108,10 +1115,11 @@ impl VrHierarchy {
                 self.events.parity_machine_checks += 1;
             }
             _ => {
-                // Tag or state flip: the r-pointer is trusted.
+                // Tag, state or data flip: the r-pointer is trusted.
                 self.clear_sub_linkage(line.meta.p_block);
-                if kind == FaultKind::VTagFlip && !line.meta.dirty {
-                    // Clean data under a wrong tag: treat as a miss.
+                if matches!(kind, FaultKind::VTagFlip | FaultKind::VDataBit) && !line.meta.dirty {
+                    // Clean data under a wrong tag (or a clean word
+                    // failing its data check): treat as a miss.
                     self.events.parity_refetches += 1;
                 } else {
                     // A dirty line (or a dirty bit of unknown true
@@ -1190,15 +1198,72 @@ impl VrHierarchy {
         if let Some(line) = self.l2.invalidate(p2) {
             lost_dirty |= line.meta.rdirty;
         }
-        if kind == FaultKind::CohStateFlip && !lost_dirty {
+        if matches!(kind, FaultKind::CohStateFlip | FaultKind::RDataBit) && !lost_dirty {
             self.events.parity_refetches += 1;
         } else {
             self.events.parity_machine_checks += 1;
         }
     }
 
+    /// Recovers a poisoned V-cache *data* word. Under SECDED the
+    /// syndrome locates the flipped bit and the word is repaired in
+    /// place; under plain data parity (or an uncorrectable syndrome)
+    /// the line is handled like any other detected corruption — clean
+    /// lines refetch, dirty lines machine-check.
+    fn scrub_v_data(&mut self, child: ChildCache, key: BlockId, stored: Codeword) {
+        if self.data_protection == DataProtection::Secded {
+            match stored.syndrome_decode() {
+                Decode::Clean => return,
+                Decode::Corrected { data_bit } => {
+                    if let Some(bit) = data_bit {
+                        if let Some(line) = self.front_mut(child).peek_mut(key) {
+                            line.meta.version = line.meta.version.with_bit_flipped(bit);
+                        }
+                    }
+                    self.events.secded_corrections += 1;
+                    return;
+                }
+                // A multi-bit upset: detected, uncorrectable — fall
+                // through to the parity-style discard.
+                Decode::DoubleError => {}
+            }
+        }
+        self.scrub_v_line(FaultKind::VDataBit, child, key);
+    }
+
+    /// Recovers a poisoned R-cache subentry *data* word (same policy as
+    /// [`scrub_v_data`](Self::scrub_v_data), at the second level).
+    fn scrub_r_data(&mut self, p2: BlockId, sub: usize, stored: Codeword) {
+        if self.data_protection == DataProtection::Secded {
+            match stored.syndrome_decode() {
+                Decode::Clean => return,
+                Decode::Corrected { data_bit } => {
+                    if let Some(bit) = data_bit {
+                        if let Some(line) = self.l2.peek_mut(p2) {
+                            if let Some(s) = line.meta.subs.get_mut(sub) {
+                                s.version = s.version.with_bit_flipped(bit);
+                            }
+                        }
+                    }
+                    self.events.secded_corrections += 1;
+                    return;
+                }
+                Decode::DoubleError => {}
+            }
+        }
+        self.scrub_r_line(FaultKind::RDataBit, p2);
+    }
+
     fn record_poison(&mut self, poison: Poison) {
         if self.parity {
+            self.poison.push(poison);
+        }
+    }
+
+    /// Records a *data*-array syndrome: gated on the data-protection
+    /// knob, not on metadata parity.
+    fn record_data_poison(&mut self, poison: Poison) {
+        if self.data_protection != DataProtection::None {
             self.poison.push(poison);
         }
     }
@@ -1353,6 +1418,69 @@ impl VrHierarchy {
             detail: format!("write buffer lost pending {p1}"),
         })
     }
+
+    /// Flips one data bit of a V-cache line's stored word. The poison
+    /// carries the corrupted SECDED codeword so the scrub can decode
+    /// the syndrome and correct in place.
+    fn inject_v_data_bit(&mut self, seed: u64) -> Option<FaultRecord> {
+        let (key, meta) = self.pick_v_line(seed)?;
+        let bit = (seed % 64) as u32;
+        let mut stored = Codeword::encode(meta.version.raw());
+        stored.flip_data_bit(bit);
+        let corrupted = meta.version.with_bit_flipped(bit);
+        let line = self.l1d.peek_mut(key)?;
+        line.meta.version = corrupted;
+        self.record_data_poison(Poison::L1Data {
+            child: ChildCache::Data,
+            key,
+            stored,
+        });
+        Some(FaultRecord {
+            kind: FaultKind::VDataBit,
+            detail: format!(
+                "v-line {key} data bit {bit} flipped ({} -> {corrupted}) dirty={}",
+                meta.version, meta.dirty
+            ),
+        })
+    }
+
+    /// Flips one data bit of an R-cache subentry's stored word,
+    /// preferring a subentry whose copy is authoritative at this level
+    /// (not shadowed by a dirty V-child or a buffered write).
+    fn inject_r_data_bit(&mut self, seed: u64) -> Option<FaultRecord> {
+        let mut preferred: Vec<(BlockId, usize, Version)> = Vec::new();
+        let mut any: Vec<(BlockId, usize, Version)> = Vec::new();
+        for line in self.l2.iter() {
+            for (si, sub) in line.meta.subs.iter().enumerate() {
+                any.push((line.block, si, sub.version));
+                if !sub.vdirty && !sub.buffer {
+                    preferred.push((line.block, si, sub.version));
+                }
+            }
+        }
+        let pool = if preferred.is_empty() { any } else { preferred };
+        if pool.is_empty() {
+            return None;
+        }
+        let (p2, si, version) = pool[(seed % pool.len() as u64) as usize];
+        let bit = (seed % 64) as u32;
+        let mut stored = Codeword::encode(version.raw());
+        stored.flip_data_bit(bit);
+        let corrupted = version.with_bit_flipped(bit);
+        let line = self.l2.peek_mut(p2)?;
+        line.meta.subs[si].version = corrupted;
+        self.record_data_poison(Poison::L2Data {
+            p2,
+            sub: si,
+            stored,
+        });
+        Some(FaultRecord {
+            kind: FaultKind::RDataBit,
+            detail: format!(
+                "r-line {p2} sub {si} data bit {bit} flipped ({version} -> {corrupted})"
+            ),
+        })
+    }
 }
 
 impl FaultPort for VrHierarchy {
@@ -1375,6 +1503,8 @@ impl FaultPort for VrHierarchy {
                 })
             }
             FaultKind::WriteBufferDrop => self.inject_wb_drop(seed),
+            FaultKind::VDataBit => self.inject_v_data_bit(seed),
+            FaultKind::RDataBit => self.inject_r_data_bit(seed),
             FaultKind::BusDropTxn | FaultKind::BusDuplicateTxn | FaultKind::BusLostInvalidate => {
                 None
             }

@@ -77,9 +77,92 @@ impl Baseline {
     }
 }
 
-/// Renders a baseline skeleton for the given SDC ids, keeping any
-/// justification already present in `existing`.
-pub fn render_template(ids: &[String], existing: &Baseline) -> String {
+/// The reviewed corruption-route explanation for a single fault kind
+/// (by report label) with all protection off. These are the per-class
+/// texts the pinned baseline repeats across organizations, points and
+/// seeds — the review is of the route class, not of each coordinate.
+pub fn kind_justification(label: &str) -> Option<&'static str> {
+    Some(match label {
+        "v-tag-flip" => {
+            "the flipped tag aliases the line under another block's name; a later access \
+             of that name hits the wrong data with nothing in the unprotected tag path \
+             to notice"
+        }
+        "v-state-flip" => {
+            "a corrupted dirty bit either loses a modified granule's write-back or \
+             writes a stale version over newer memory on eviction"
+        }
+        "r-pointer-flip" => {
+            "the corrupted r-pointer rebinds the virtual line to the wrong physical \
+             block, so synonym resolution serves another block's data as a hit"
+        }
+        "r-inclusion-flip" => {
+            "a cleared inclusion bit makes the second level stop filtering \
+             invalidations for a line the first level still holds, leaving a stale \
+             first-level copy live"
+        }
+        "r-buffer-flip" => {
+            "a corrupted buffer bit desynchronizes the write buffer from the R-cache's \
+             view of it, losing or double-applying a pending write"
+        }
+        "r-vdirty-flip" => {
+            "a corrupted vdirty bit makes the second level trust (or distrust) the \
+             wrong level's copy, serving a stale subentry as authoritative"
+        }
+        "v-pointer-flip" => {
+            "the corrupted v-pointer breaks the R-cache's back-map to the first level, \
+             so an invalidation or write-back is routed to the wrong virtual line"
+        }
+        "coh-state-flip" => {
+            "Shared flipped to Private in the window before a sharing-beat write: the \
+             upgrade invalidation is skipped and the other processor's copy silently \
+             goes stale"
+        }
+        "tlb-entry-flip" => {
+            "the corrupted translation maps the page to the wrong frame; every access \
+             through it reads and writes the wrong physical block"
+        }
+        "write-buffer-drop" => {
+            "the dropped entry's store never reaches memory, so later readers observe \
+             the pre-store value with no detection event anywhere"
+        }
+        "v-data-bit" => {
+            "with the data array unprotected the flipped stored word is served verbatim \
+             on the next hit — the metadata path sees a perfectly clean line holding \
+             wrong data"
+        }
+        "r-data-bit" => {
+            "an unprotected second-level word corrupts the copy the first level refills \
+             from; the refill looks like a clean hit and the stale word is served with \
+             no detection event"
+        }
+        "bus-drop-txn" => {
+            "dropped read-modified-write fabricates memory-at-rest versions for the \
+             sibling granules; a later read of one of them observes stale data with \
+             nothing on the bus to notice"
+        }
+        "bus-duplicate-txn" => {
+            "the duplicated transaction applies its side effects twice, leaving \
+             snoopers with a state the issuer never observed"
+        }
+        "bus-lost-invalidate" => {
+            "the writer upgrades to private but the other processor never hears the \
+             invalidation and keeps serving its stale copy from its first level"
+        }
+        _ => return None,
+    })
+}
+
+/// Renders a baseline skeleton for the given SDC ids. Each id keeps any
+/// justification already present in `existing`; otherwise `suggest` may
+/// supply the reviewed route-class text, and ids neither pinned nor
+/// suggested get an explicit `TODO` that the parser and lint will
+/// accept but a reviewer must replace.
+pub fn render_template(
+    ids: &[String],
+    existing: &Baseline,
+    suggest: &dyn Fn(&str) -> Option<String>,
+) -> String {
     let mut out = String::from(
         "# Pinned silent-data-corruption routes (parity OFF).\n\
          # One line per reviewed route: <row id> — <why it is silent>.\n\
@@ -93,8 +176,10 @@ pub fn render_template(ids: &[String], existing: &Baseline) -> String {
             .entries
             .iter()
             .find(|e| &e.id == id)
-            .map(|e| e.justification.as_str())
-            .unwrap_or("TODO: explain the corruption route");
+            .map(|e| e.justification.clone())
+            .filter(|j| !j.starts_with("TODO"))
+            .or_else(|| suggest(id))
+            .unwrap_or_else(|| "TODO: explain the corruption route".to_string());
         out.push_str(&format!("{} — {}\n", id, justification));
     }
     out
@@ -131,9 +216,41 @@ mod tests {
     #[test]
     fn template_round_trips_justifications() {
         let existing = Baseline::parse("x — because\n").unwrap();
-        let text = render_template(&["x".to_string(), "y".to_string()], &existing);
+        let text = render_template(&["x".to_string(), "y".to_string()], &existing, &|_| None);
         let parsed = Baseline::parse(&text).unwrap();
         assert_eq!(parsed.entries[0].justification, "because");
         assert!(parsed.entries[1].justification.starts_with("TODO"));
+    }
+
+    #[test]
+    fn template_prefers_existing_over_suggestion() {
+        let existing = Baseline::parse("x — reviewed by hand\n").unwrap();
+        let suggest = |id: &str| (id == "y").then(|| "route-class text".to_string());
+        let text = render_template(&["x".to_string(), "y".to_string()], &existing, &suggest);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries[0].justification, "reviewed by hand");
+        assert_eq!(parsed.entries[1].justification, "route-class text");
+    }
+
+    #[test]
+    fn template_replaces_stale_todo_placeholders() {
+        let existing = Baseline::parse("x — TODO: explain the corruption route\n").unwrap();
+        let suggest = |_: &str| Some("route-class text".to_string());
+        let text = render_template(&["x".to_string()], &existing, &suggest);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries[0].justification, "route-class text");
+    }
+
+    #[test]
+    fn kind_table_covers_every_fault_kind() {
+        use vrcache::fault::FaultKind;
+        for kind in FaultKind::ALL {
+            assert!(
+                kind_justification(kind.label()).is_some(),
+                "no route-class justification for {}",
+                kind.label()
+            );
+        }
+        assert!(kind_justification("not-a-kind").is_none());
     }
 }

@@ -2,29 +2,37 @@
 //!
 //! ```text
 //! cargo run --release -p vrcache-inject -- --campaign smoke
-//! cargo run --release -p vrcache-inject -- --campaign full --filter vr/ --jobs 4
-//! cargo run --release -p vrcache-inject -- --campaign smoke --write-baseline
+//! cargo run --release -p vrcache-inject -- --campaign pairs-smoke --jobs 4
+//! cargo run --release -p vrcache-inject -- --campaign nightly --write-baseline
 //! cargo run --release -p vrcache-inject -- --campaign smoke --pages 12 --refs 200
 //! ```
 //!
 //! Runs fan out over `--jobs` workers of the deterministic
 //! `vrcache-exec` substrate; everything on stdout (summary, report
 //! file) is byte-identical for any worker count, while per-run progress
-//! lines stream to stderr in completion order. The workload knobs
-//! (`--pages`, `--refs`, `--beat-period`) retune the synthetic workload
-//! for exploratory sweeps; baseline pinning only applies to the default
-//! shape the baseline was reviewed against.
+//! lines stream to stderr in completion order. The single campaigns
+//! (`smoke`/`full`) sweep one fault per run; the compositional
+//! campaigns (`pairs-smoke`/`pairs-full`) sweep ordered fault pairs;
+//! `shapes` replays single and pair smoke sets across the pinned
+//! workload-shape grid, and `nightly` is all three full sweeps in one
+//! report. The workload knobs (`--pages`, `--refs`, `--beat-period`)
+//! retune the synthetic workload for exploratory sweeps; baseline
+//! pinning only applies to the reviewed shapes (the default and the
+//! shape grid).
 //!
 //! Exit status: `0` when the sweep upholds the robustness contract
-//! (no parity-on SDC, every parity-off SDC allowlisted with a reviewed
-//! justification, every fault kind exercised at least once), `1` when a
+//! (no protection-on SDC, every pinned-shape parity-off SDC allowlisted
+//! with a reviewed justification, every fault kind and data-protection
+//! scheme exercised where the campaign covers them), `1` when a
 //! contract check fails, `2` on usage errors.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use vrcache::config::DataProtection;
 use vrcache_exec::{human_duration, parse_jobs, resolve_jobs};
 use vrcache_inject::baseline::{self, Baseline};
+use vrcache_inject::campaign::{id_shape, shape_is_pinned};
 use vrcache_inject::{find_root, report, Campaign, WorkloadShape};
 
 struct Args {
@@ -32,26 +40,37 @@ struct Args {
     filter: String,
     jobs: Option<usize>,
     shape: WorkloadShape,
+    shape_set: bool,
     report_path: Option<PathBuf>,
     write_baseline: bool,
     list: bool,
 }
 
 fn usage() -> String {
-    "usage: vrcache-inject --campaign <smoke|full> [options]\n\
+    "usage: vrcache-inject --campaign <name> [options]\n\
+     \n\
+     campaigns:\n\
+     \x20 smoke        single faults, one point/seed per kind\n\
+     \x20 full         single faults, the whole point/seed matrix\n\
+     \x20 pairs-smoke  ordered fault pairs over a reduced kind set\n\
+     \x20 pairs-full   ordered pairs over the whole fault table\n\
+     \x20 shapes       smoke singles + smoke pairs across the shape grid\n\
+     \x20 nightly      full + pairs-full + shapes in one report\n\
      \n\
      options:\n\
-     \x20 --campaign <smoke|full>   which sweep to run (required unless --list)\n\
+     \x20 --campaign <name>         which sweep to run (default smoke)\n\
      \x20 --filter <substring>      run only row ids containing <substring>\n\
      \x20 --jobs <n>                worker threads (default: host parallelism, max 16);\n\
      \x20                           the report is byte-identical for any value\n\
      \x20 --pages <n>               workload pages, 1..=16 (default 8)\n\
      \x20 --refs <n>                main-phase references per half (default 110)\n\
      \x20 --beat-period <n>         sharing-beat period in iterations (default 16)\n\
+     \x20                           (knobs retune smoke/full/pairs-*; shapes and\n\
+     \x20                           nightly carry their own pinned grid)\n\
      \x20 --report <path>           report destination (default target/injection-report.txt)\n\
      \x20 --write-baseline          regenerate crates/inject/baseline.txt from this run's\n\
-     \x20                           parity-off SDC set (keeps existing justifications;\n\
-     \x20                           default workload shape only)\n\
+     \x20                           pinned-shape parity-off SDC set (keeps existing\n\
+     \x20                           justifications, suggests route-class texts for new ids)\n\
      \x20 --list                    print row ids without running\n"
         .to_string()
 }
@@ -68,6 +87,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         filter: String::new(),
         jobs: None,
         shape: WorkloadShape::default(),
+        shape_set: false,
         report_path: None,
         write_baseline: false,
         list: false,
@@ -83,10 +103,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--campaign" => args.campaign = value("--campaign")?,
             "--filter" => args.filter = value("--filter")?,
             "--jobs" => args.jobs = Some(parse_jobs(&value("--jobs")?)?),
-            "--pages" => args.shape.pages = parse_knob("--pages", &value("--pages")?)?,
-            "--refs" => args.shape.half_refs = parse_knob("--refs", &value("--refs")?)?,
+            "--pages" => {
+                args.shape.pages = parse_knob("--pages", &value("--pages")?)?;
+                args.shape_set = true;
+            }
+            "--refs" => {
+                args.shape.half_refs = parse_knob("--refs", &value("--refs")?)?;
+                args.shape_set = true;
+            }
             "--beat-period" => {
                 args.shape.beat_period = parse_knob("--beat-period", &value("--beat-period")?)?;
+                args.shape_set = true;
             }
             "--report" => args.report_path = Some(PathBuf::from(value("--report")?)),
             "--write-baseline" => args.write_baseline = true,
@@ -98,11 +125,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.campaign.is_empty() {
         args.campaign = "smoke".to_string();
     }
-    args.shape.validate()?;
-    if args.write_baseline && !args.shape.is_default() {
+    args.shape.validate().map_err(|e| e.to_string())?;
+    if args.shape_set && matches!(args.campaign.as_str(), "shapes" | "nightly") {
+        return Err(format!(
+            "--pages/--refs/--beat-period do not combine with --campaign {}: that \
+             campaign sweeps its own pinned shape grid",
+            args.campaign
+        ));
+    }
+    if args.write_baseline && args.shape_set && !shape_is_pinned(&args.shape) {
         return Err(
-            "--write-baseline only applies to the default workload shape: the pinned \
-             baseline documents the reviewed default-shape SDC routes"
+            "--write-baseline only applies to pinned workload shapes (the default and \
+             the shape grid): the baseline documents reviewed SDC surfaces"
                 .to_string(),
         );
     }
@@ -113,8 +147,44 @@ fn build_campaign(name: &str) -> Result<Campaign, String> {
     match name {
         "smoke" => Ok(Campaign::smoke()),
         "full" => Ok(Campaign::full()),
-        other => Err(format!("unknown campaign '{other}' (want smoke or full)")),
+        "pairs-smoke" => Ok(Campaign::pairs_smoke()),
+        "pairs-full" => Ok(Campaign::pairs_full()),
+        "shapes" => Ok(Campaign::shapes()),
+        "nightly" => Ok(Campaign::nightly()),
+        other => Err(format!(
+            "unknown campaign '{other}' (want smoke, full, pairs-smoke, pairs-full, \
+             shapes or nightly)"
+        )),
     }
+}
+
+/// Suggested justification for a freshly observed SDC id: single ids
+/// use the reviewed route-class text for their kind, pair ids the
+/// composition text, and shape-keyed ids the base suggestion tagged
+/// with the shape it reproduced under.
+fn suggest_justification(id: &str) -> Option<String> {
+    let (base, shape_key) = match id_shape(id) {
+        Some(_) => {
+            let (head, last) = id.rsplit_once('/')?;
+            (head, Some(&last[1..]))
+        }
+        None => (id, None),
+    };
+    let kinds = base.split('/').nth(1)?;
+    let text = if let Some((first, second)) = kinds.split_once('+') {
+        format!(
+            "unprotected {first}+{second} composition: with parity and data protection \
+             off neither fault can be detected, and the ordered pair leaves a stale \
+             value live for the verification tail (the single-route pins explain each \
+             component)"
+        )
+    } else {
+        baseline::kind_justification(kinds)?.to_string()
+    };
+    Some(match shape_key {
+        Some(key) => format!("{text} [reproduced under the {key} workload shape]"),
+        None => text,
+    })
 }
 
 fn main() -> ExitCode {
@@ -127,6 +197,7 @@ fn main() -> ExitCode {
         }
     };
     let campaign = match build_campaign(&args.campaign) {
+        Ok(c) if args.shape_set => c.with_shape(args.shape),
         Ok(c) => c,
         Err(msg) => {
             eprintln!("{msg}");
@@ -153,13 +224,13 @@ fn main() -> ExitCode {
     eprintln!(
         "inject: campaign '{}' with {jobs} worker(s){}",
         campaign.name,
-        if args.shape.is_default() {
-            String::new()
-        } else {
+        if args.shape_set {
             format!(
                 " (workload shape: {} pages, {} refs/half, beat every {})",
                 args.shape.pages, args.shape.half_refs, args.shape.beat_period
             )
+        } else {
+            String::new()
         }
     );
 
@@ -167,7 +238,7 @@ fn main() -> ExitCode {
     // campaign's own output readable by silencing the per-panic
     // backtraces (every panic is still caught and classified).
     std::panic::set_hook(Box::new(|_| {}));
-    let result = campaign.run(&args.filter, jobs, &args.shape, |p| {
+    let result = campaign.run(&args.filter, jobs, |p| {
         eprintln!(
             "inject: [{}/{}] {} {} in {}",
             p.done,
@@ -209,49 +280,67 @@ fn main() -> ExitCode {
         }
     };
 
-    let sdc_off = result.sdc_ids(Some(false));
+    // Parity-off SDC rows split by whether their shape is a reviewed,
+    // pinned surface (the default shape and the shape grid) or an
+    // exploratory retune.
+    let sdc_off = result.sdc_rows(Some(false));
+    let pinnable: Vec<String> = sdc_off
+        .iter()
+        .filter(|r| shape_is_pinned(&r.spec.shape))
+        .map(|r| r.id())
+        .collect();
+    let exploratory: Vec<String> = sdc_off
+        .iter()
+        .filter(|r| !shape_is_pinned(&r.spec.shape))
+        .map(|r| r.id())
+        .collect();
+
     if args.write_baseline {
-        let text = baseline::render_template(&sdc_off, &baseline);
+        let text = baseline::render_template(&pinnable, &baseline, &|id| suggest_justification(id));
         if let Err(e) = std::fs::write(&baseline_path, text) {
             eprintln!("cannot write {}: {e}", baseline_path.display());
             return ExitCode::FAILURE;
         }
         println!(
             "baseline: wrote {} entries to {}",
-            sdc_off.len(),
+            pinnable.len(),
             baseline_path.display()
         );
     }
 
     let mut failed = false;
 
-    // Contract 1: with parity + recovery on, nothing is silent. Ever.
-    // This holds for any workload shape.
+    // Contract 1: with the protection machinery on (metadata parity,
+    // and for data faults parity or SECDED), nothing is silent. Ever.
+    // This holds for any workload shape and for every fault plan —
+    // singles and ordered pairs alike: containment must compose.
     let sdc_on = result.sdc_ids(Some(true));
     if !sdc_on.is_empty() {
         failed = true;
-        eprintln!("FAIL: silent data corruption with parity ON:");
+        eprintln!("FAIL: silent data corruption with protection ON:");
         for id in &sdc_on {
             eprintln!("  {id}");
         }
     }
 
-    // Contract 2: every parity-off SDC route is pinned and explained.
-    // The baseline was reviewed against the default workload shape, so
-    // retuned shapes report their SDC set without enforcing it.
-    if !args.shape.is_default() {
-        if !sdc_off.is_empty() {
-            println!(
-                "note: {} parity-off SDC route(s) under a non-default workload shape \
-                 (baseline not enforced):",
-                sdc_off.len()
-            );
-            for id in &sdc_off {
-                println!("  {id}");
-            }
+    // Contract 2: every parity-off SDC route on a pinned shape is
+    // allowlisted and explained. Exploratory shapes report their SDC
+    // set without enforcing it.
+    if !exploratory.is_empty() {
+        println!(
+            "note: {} parity-off SDC route(s) under exploratory workload shapes \
+             (baseline not enforced):",
+            exploratory.len()
+        );
+        for id in &exploratory {
+            println!("  {id}");
         }
-    } else if !args.write_baseline {
-        let unpinned: Vec<&String> = sdc_off.iter().filter(|id| !baseline.contains(id)).collect();
+    }
+    if !args.write_baseline {
+        let unpinned: Vec<&String> = pinnable
+            .iter()
+            .filter(|id| !baseline.contains(id))
+            .collect();
         if !unpinned.is_empty() {
             failed = true;
             eprintln!("FAIL: unreviewed parity-off SDC routes (run --write-baseline and explain):");
@@ -271,11 +360,11 @@ fn main() -> ExitCode {
         }
     }
 
-    // Contract 4 (full default-shape sweeps only): every fault kind
-    // corrupted something somewhere — a kind that never applies is dead
-    // weight in the fault model. Retuned shapes may legitimately starve
-    // a kind (e.g. a beat period that never exercises invalidations).
-    if args.filter.is_empty() && args.shape.is_default() {
+    // Contract 4 (unfiltered campaigns whose plans span the whole fault
+    // table): every fault kind corrupted something somewhere — a kind
+    // that never applies is dead weight in the fault model. Reduced
+    // kind sets (pairs-smoke) skip this.
+    if args.filter.is_empty() && campaign.covers_all_kinds() {
         let unexercised = result.unexercised_kinds();
         if !unexercised.is_empty() {
             failed = true;
@@ -286,17 +375,36 @@ fn main() -> ExitCode {
         }
     }
 
+    // Contract 5: every data-protection scheme the campaign enumerates
+    // must see a landed data fault — an unexercised protection scheme
+    // is a dead knob whose classification claims mean nothing.
+    let covers_protections = DataProtection::ALL
+        .iter()
+        .all(|p| campaign.specs.iter().any(|s| s.protection == *p));
+    if args.filter.is_empty() && covers_protections {
+        let unexercised = result.unexercised_protections();
+        if !unexercised.is_empty() {
+            failed = true;
+            eprintln!("FAIL: data-protection schemes never exercised by a landed data fault:");
+            for p in unexercised {
+                eprintln!("  {}", p.label());
+            }
+        }
+    }
+
     // Stale baseline entries are informational only: the SDC set differs
     // between debug and release builds (debug assertions turn several
-    // silent routes into loud ones), and the baseline pins their union.
+    // silent routes into loud ones) and between campaigns; the baseline
+    // pins the union of the nightly matrix.
     let stale: Vec<&baseline::BaselineEntry> = baseline
         .entries
         .iter()
-        .filter(|e| !sdc_off.contains(&e.id))
+        .filter(|e| !pinnable.contains(&e.id))
         .collect();
-    if !stale.is_empty() && args.filter.is_empty() && args.shape.is_default() {
+    if !stale.is_empty() && args.filter.is_empty() {
         println!(
-            "note: {} baseline entr{} did not reach SDC in this run (expected across debug/release)",
+            "note: {} baseline entr{} did not reach SDC in this run (expected outside \
+             the nightly matrix)",
             stale.len(),
             if stale.len() == 1 { "y" } else { "ies" }
         );

@@ -1,12 +1,15 @@
-//! One injection, end to end: build a two-CPU system, replay the
-//! workload, corrupt state at the chosen point, classify what happened.
+//! One injection run, end to end: build a two-CPU system, replay the
+//! workload, corrupt state at each planned point, classify what
+//! happened.
 //!
+//! A run executes a [`Spec`]'s whole fault plan — one fault for the
+//! single campaigns, an ordered pair for the compositional campaigns.
 //! Structural kinds go through [`FaultPort`] between two events;
 //! bus-level kinds are armed at [`FaultyBus`], a [`SystemBus`] wrapper
-//! that corrupts the next applicable transaction in flight. The replay
-//! runs under `catch_unwind` so an assertion or invariant panic is
-//! classified (detected-fatal: the model failed loudly) instead of
-//! killing the campaign.
+//! that corrupts the next applicable transaction in flight (faults
+//! armed earlier fire first). The replay runs under `catch_unwind` so
+//! an assertion or invariant panic is classified (detected-fatal: the
+//! model failed loudly) instead of killing the campaign.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -21,7 +24,7 @@ use vrcache_sim::snoop::SnoopingBus;
 use vrcache_trace::record::TraceEvent;
 
 use crate::campaign::Spec;
-use crate::workload::{self, WorkloadShape};
+use crate::workload;
 
 /// A hierarchy the harness can both drive and corrupt.
 ///
@@ -33,7 +36,7 @@ pub trait FaultTarget: CacheHierarchy + FaultPort {}
 
 impl<T: CacheHierarchy + FaultPort> FaultTarget for T {}
 
-/// How one injection ended.
+/// How one injection run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Outcome {
     /// The corruption was never consumed (dead state, or re-derived
@@ -42,22 +45,28 @@ pub enum Outcome {
     /// Parity or a bus NACK fired and the run still completed with no
     /// stale read.
     DetectedRecovered,
+    /// SECDED located and repaired every consumed data upset in place:
+    /// the run completed with no refetch, no machine check and no
+    /// stale read.
+    DetectedCorrected,
     /// The fault was noticed but the run could not continue correctly:
     /// a machine check, a panic, or a stale read after detection.
     DetectedFatal,
     /// A stale read with zero detection events — silent data
     /// corruption.
     Sdc,
-    /// The organization had no live target for this kind at the chosen
-    /// point (or an armed bus fault saw no applicable transaction).
+    /// The organization had no live target for any planned fault at
+    /// its chosen point (or an armed bus fault saw no applicable
+    /// transaction).
     NotApplicable,
 }
 
 impl Outcome {
     /// Every outcome, in report-count order.
-    pub const ALL: [Outcome; 5] = [
+    pub const ALL: [Outcome; 6] = [
         Outcome::Masked,
         Outcome::DetectedRecovered,
+        Outcome::DetectedCorrected,
         Outcome::DetectedFatal,
         Outcome::Sdc,
         Outcome::NotApplicable,
@@ -68,6 +77,7 @@ impl Outcome {
         match self {
             Outcome::Masked => "masked",
             Outcome::DetectedRecovered => "detected-recovered",
+            Outcome::DetectedCorrected => "detected-corrected",
             Outcome::DetectedFatal => "detected-fatal",
             Outcome::Sdc => "sdc",
             Outcome::NotApplicable => "not-applicable",
@@ -81,39 +91,52 @@ impl std::fmt::Display for Outcome {
     }
 }
 
-/// The classified result of one injection.
+/// The classified result of one injection run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// The classification.
     pub outcome: Outcome,
-    /// What the injection corrupted (`None` iff not applicable).
-    pub applied: Option<FaultRecord>,
+    /// Per-plan-position injection results, aligned with
+    /// [`Spec::plan`]. `None` at a position means that fault found no
+    /// live target (all `None` iff the run is not-applicable).
+    pub applied: Vec<Option<FaultRecord>>,
     /// Total detection events: parity refetches + machine checks + bus
     /// NACKs.
     pub detections: u64,
+    /// SECDED in-place corrections (not counted as detections).
+    pub corrections: u64,
     /// One-line, newline-free, deterministic narrative for the report.
     pub detail: String,
 }
 
+impl RunResult {
+    /// Whether any planned fault actually landed.
+    pub fn any_applied(&self) -> bool {
+        self.applied.iter().any(Option::is_some)
+    }
+}
+
 /// Bus-fault arming state, shared across every transaction of a run.
+/// Armed entries are tagged with their plan position so a pair of bus
+/// faults fires in plan order, one per applicable transaction.
 struct BusFaultState {
-    armed: Option<FaultKind>,
+    armed: Vec<(usize, FaultKind)>,
     /// Detect-and-retry enabled (tied to the parity setting of the run).
     recovery: bool,
     policy: RetryPolicy,
     nacks: NackStats,
-    fired: Option<FaultRecord>,
+    fired: Vec<(usize, FaultRecord)>,
     subblocks: u32,
 }
 
 impl BusFaultState {
     fn new(recovery: bool, subblocks: u32) -> BusFaultState {
         BusFaultState {
-            armed: None,
+            armed: Vec::new(),
             recovery,
             policy: RetryPolicy::default(),
             nacks: NackStats::default(),
-            fired: None,
+            fired: Vec::new(),
             subblocks,
         }
     }
@@ -152,10 +175,11 @@ fn fabricated_response(request: &BusRequest, subblocks: u32) -> BusResponse {
     }
 }
 
-/// A [`SystemBus`] wrapper that applies an armed bus-level fault to the
-/// next applicable transaction. With recovery on, the fault surfaces as
-/// a NACK and the transaction is retried (forwarded intact); with
-/// recovery off, the corruption reaches the system.
+/// A [`SystemBus`] wrapper that applies the earliest-armed applicable
+/// bus-level fault to the next matching transaction. With recovery on,
+/// the fault surfaces as a NACK and the transaction is retried
+/// (forwarded intact); with recovery off, the corruption reaches the
+/// system.
 struct FaultyBus<'a, 'b> {
     inner: &'a mut SnoopingBus<'b, dyn FaultTarget>,
     state: &'a mut BusFaultState,
@@ -163,26 +187,27 @@ struct FaultyBus<'a, 'b> {
 
 impl SystemBus for FaultyBus<'_, '_> {
     fn issue(&mut self, request: BusRequest) -> BusResponse {
-        let applies = match self.state.armed {
-            Some(FaultKind::BusDropTxn) | Some(FaultKind::BusDuplicateTxn) => true,
-            Some(FaultKind::BusLostInvalidate) => {
-                matches!(request, BusRequest::Invalidate { .. })
-            }
+        let slot = self.state.armed.iter().position(|&(_, kind)| match kind {
+            FaultKind::BusDropTxn | FaultKind::BusDuplicateTxn => true,
+            FaultKind::BusLostInvalidate => matches!(request, BusRequest::Invalidate { .. }),
             _ => false,
-        };
-        if !applies {
-            return self.inner.issue(request);
-        }
-        let kind = self.state.armed.take().expect("applies implies armed");
-        self.state.fired = Some(FaultRecord {
-            kind,
-            detail: format!(
-                "{} on {} for block {:#x}",
-                kind.label(),
-                request_label(&request),
-                request_block(&request)
-            ),
         });
+        let Some(slot) = slot else {
+            return self.inner.issue(request);
+        };
+        let (position, kind) = self.state.armed.remove(slot);
+        self.state.fired.push((
+            position,
+            FaultRecord {
+                kind,
+                detail: format!(
+                    "{} on {} for block {:#x}",
+                    kind.label(),
+                    request_label(&request),
+                    request_block(&request)
+                ),
+            },
+        ));
         if self.state.recovery {
             // The bus detects the mangled transaction, NACKs it, and the
             // issuer retries; the retry goes through intact.
@@ -206,25 +231,29 @@ impl SystemBus for FaultyBus<'_, '_> {
 /// Everything the replay records that must survive a panic: the closure
 /// updates this after every event, so classification works even when an
 /// assertion killed the run halfway through.
-#[derive(Default)]
 struct Observations {
-    /// `Some(port_result)` once the structural injection was attempted.
-    injected: Option<Option<FaultRecord>>,
+    /// Per-plan-position: `Some(port_result)` once that structural
+    /// injection was attempted (bus positions stay `None` here — the
+    /// bus state tracks them).
+    injected: Vec<Option<Option<FaultRecord>>>,
     refetches: u64,
     machine_checks: u64,
+    corrections: u64,
     violation: Option<String>,
     completed: bool,
 }
 
-fn tally_parity(hs: &[Option<Box<dyn FaultTarget>>]) -> (u64, u64) {
+fn tally_events(hs: &[Option<Box<dyn FaultTarget>>]) -> (u64, u64, u64) {
     let mut refetches = 0;
     let mut machine_checks = 0;
+    let mut corrections = 0;
     for h in hs.iter().flatten() {
         let e = h.events();
         refetches += e.parity_refetches;
         machine_checks += e.parity_machine_checks;
+        corrections += e.secded_corrections;
     }
-    (refetches, machine_checks)
+    (refetches, machine_checks, corrections)
 }
 
 fn one_line(s: &str) -> String {
@@ -234,19 +263,30 @@ fn one_line(s: &str) -> String {
 /// Number of processors every campaign system has.
 pub const CPUS: u16 = 2;
 
-/// Runs one injection of the default-shape workload.
-pub fn run(spec: &Spec) -> RunResult {
-    run_shaped(spec, &WorkloadShape::default())
+/// Target-selection seed for the fault at `position` of the plan.
+/// Position 0 uses the workload seed unchanged (byte-compatible with
+/// the legacy single-fault campaigns); later positions are displaced by
+/// an odd 64-bit constant so a same-kind pair picks a different target
+/// instead of re-flipping (and so unflipping) the first one.
+fn fault_seed(seed: u64, position: usize) -> u64 {
+    seed.wrapping_add((position as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Runs one injection of a `shape`d workload to completion and
-/// classifies it.
-pub fn run_shaped(spec: &Spec, shape: &WorkloadShape) -> RunResult {
+/// Runs one injection spec — its whole fault plan over its workload
+/// shape — to completion and classifies it.
+pub fn run(spec: &Spec) -> RunResult {
     let cfg = spec.config();
     let subblocks = cfg.subblocks();
-    let events = workload::build_shaped(spec.seed, shape);
+    let events = workload::build_shaped(spec.seed, &spec.shape);
 
-    let mut obs = Observations::default();
+    let mut obs = Observations {
+        injected: vec![None; spec.plan.len()],
+        refetches: 0,
+        machine_checks: 0,
+        corrections: 0,
+        violation: None,
+        completed: false,
+    };
     let mut bus_state = BusFaultState::new(spec.parity, subblocks);
 
     let caught = catch_unwind(AssertUnwindSafe(|| {
@@ -258,21 +298,29 @@ pub fn run_shaped(spec: &Spec, shape: &WorkloadShape) -> RunResult {
         let mut stats = BusStats::default();
 
         for (i, event) in events.iter().enumerate() {
-            if i as u64 == spec.point {
-                if spec.kind.is_bus_level() {
-                    bus_state.armed = Some(spec.kind);
+            for (position, fault) in spec.plan.iter().enumerate() {
+                if i as u64 != fault.point {
+                    continue;
+                }
+                if fault.kind.is_bus_level() {
+                    bus_state.armed.push((position, fault.kind));
                 } else {
                     let record = hs[0]
                         .as_mut()
                         .expect("hierarchy present between events")
-                        .inject_fault(spec.kind, spec.seed);
-                    obs.injected = Some(record);
-                    // No live target here: the run is not-applicable and
-                    // there is nothing left to observe.
-                    if obs.injected == Some(None) {
-                        return;
-                    }
+                        .inject_fault(fault.kind, fault_seed(spec.seed, position));
+                    obs.injected[position] = Some(record);
                 }
+            }
+            // Every structural fault attempted, none landed, and no bus
+            // fault is (or will be) armed: the run is not-applicable
+            // and there is nothing left to observe.
+            if bus_state.armed.is_empty()
+                && bus_state.fired.is_empty()
+                && !spec.plan.iter().any(|f| f.kind.is_bus_level())
+                && obs.injected.iter().all(|slot| *slot == Some(None))
+            {
+                return;
             }
             match event {
                 TraceEvent::Access(a) => {
@@ -288,9 +336,10 @@ pub fn run_shaped(spec: &Spec, shape: &WorkloadShape) -> RunResult {
                         h.access(a, &mut bus, &mut oracle)
                     };
                     hs[idx] = Some(h);
-                    let (refetches, machine_checks) = tally_parity(&hs);
+                    let (refetches, machine_checks, corrections) = tally_events(&hs);
                     obs.refetches = refetches;
                     obs.machine_checks = machine_checks;
+                    obs.corrections = corrections;
                     if let Err(v) = result {
                         obs.violation = Some(v.to_string());
                         return;
@@ -306,9 +355,10 @@ pub fn run_shaped(spec: &Spec, shape: &WorkloadShape) -> RunResult {
                         .as_mut()
                         .expect("not reentrant")
                         .context_switch(*from, *to);
-                    let (refetches, machine_checks) = tally_parity(&hs);
+                    let (refetches, machine_checks, corrections) = tally_events(&hs);
                     obs.refetches = refetches;
                     obs.machine_checks = machine_checks;
+                    obs.corrections = corrections;
                     if machine_checks > 0 {
                         return;
                     }
@@ -329,14 +379,27 @@ pub fn run_shaped(spec: &Spec, shape: &WorkloadShape) -> RunResult {
         ),
     };
 
-    let applied = if spec.kind.is_bus_level() {
-        bus_state.fired.clone()
-    } else {
-        obs.injected.clone().flatten()
-    };
+    let applied: Vec<Option<FaultRecord>> = spec
+        .plan
+        .iter()
+        .enumerate()
+        .map(|(position, fault)| {
+            if fault.kind.is_bus_level() {
+                bus_state
+                    .fired
+                    .iter()
+                    .find(|(p, _)| *p == position)
+                    .map(|(_, record)| record.clone())
+            } else {
+                obs.injected[position].clone().flatten()
+            }
+        })
+        .collect();
     let detections = obs.refetches + obs.machine_checks + bus_state.nacks.nacks;
+    let corrections = obs.corrections;
+    let any_applied = applied.iter().any(Option::is_some);
 
-    let (outcome, detail) = if applied.is_none() {
+    let (outcome, detail) = if !any_applied {
         (Outcome::NotApplicable, "no live target".to_string())
     } else if let Some(msg) = panic_msg {
         (Outcome::DetectedFatal, format!("panic: {}", one_line(&msg)))
@@ -346,6 +409,9 @@ pub fn run_shaped(spec: &Spec, shape: &WorkloadShape) -> RunResult {
             format!("machine check ({} detections)", detections),
         )
     } else if let Some(v) = obs.violation {
+        // Corrections never excuse a stale read: repairing fault A does
+        // not detect fault B, so only real detection events demote an
+        // SDC to detected-fatal.
         if detections > 0 {
             (
                 Outcome::DetectedFatal,
@@ -359,19 +425,51 @@ pub fn run_shaped(spec: &Spec, shape: &WorkloadShape) -> RunResult {
             Outcome::DetectedRecovered,
             format!("{} detections, clean completion", detections),
         )
+    } else if corrections > 0 {
+        (
+            Outcome::DetectedCorrected,
+            format!("{} corrected in place, clean completion", corrections),
+        )
     } else {
         (Outcome::Masked, "clean completion".to_string())
     };
 
-    let detail = match &applied {
-        Some(record) => format!("{} [{}]", detail, one_line(&record.detail)),
-        None => detail,
+    // Per-fault suffix: the legacy single-fault format is preserved
+    // byte for byte; plans with several faults join their records in
+    // plan order.
+    let detail = if any_applied {
+        let records: Vec<String> = applied
+            .iter()
+            .zip(spec.plan.iter())
+            .enumerate()
+            .map(|(position, (record, fault))| match record {
+                Some(r) => one_line(&r.detail),
+                // Distinguish a fault that was attempted and found no
+                // target from one whose point the run never reached
+                // (the first fault halted the machine first).
+                None if fault.kind.is_bus_level() => {
+                    if bus_state.armed.iter().any(|&(p, _)| p == position) {
+                        format!("no applicable transaction for {}", fault.kind.label())
+                    } else {
+                        format!("not reached for {}", fault.kind.label())
+                    }
+                }
+                None if obs.injected[position].is_none() => {
+                    format!("not reached for {}", fault.kind.label())
+                }
+                None => format!("no target for {}", fault.kind.label()),
+            })
+            .collect();
+        format!("{} [{}]", detail, records.join(" + "))
+    } else {
+        detail
     };
 
     RunResult {
         outcome,
         applied,
         detections,
+        corrections,
         detail,
     }
 }
@@ -379,23 +477,51 @@ pub fn run_shaped(spec: &Spec, shape: &WorkloadShape) -> RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::Org;
+    use crate::campaign::{Org, PlannedFault};
+    use crate::workload::WorkloadShape;
+    use vrcache::config::DataProtection;
 
     fn spec(org: Org, kind: FaultKind, parity: bool) -> Spec {
         Spec {
             org,
-            kind,
-            point_idx: 0,
-            point: 60,
+            plan: vec![PlannedFault {
+                kind,
+                point_idx: 0,
+                point: 60,
+            }],
             seed: 1,
             parity,
+            protection: DataProtection::None,
+            shape: WorkloadShape::default(),
+        }
+    }
+
+    fn pair_spec(org: Org, first: FaultKind, second: FaultKind, parity: bool) -> Spec {
+        Spec {
+            org,
+            plan: vec![
+                PlannedFault {
+                    kind: first,
+                    point_idx: 0,
+                    point: 60,
+                },
+                PlannedFault {
+                    kind: second,
+                    point_idx: 1,
+                    point: 140,
+                },
+            ],
+            seed: 1,
+            parity,
+            protection: DataProtection::None,
+            shape: WorkloadShape::default(),
         }
     }
 
     #[test]
     fn parity_on_v_tag_flip_is_detected() {
         let r = run(&spec(Org::Vr, FaultKind::VTagFlip, true));
-        assert!(r.applied.is_some(), "a warm V-cache has tag targets");
+        assert!(r.any_applied(), "a warm V-cache has tag targets");
         assert!(
             matches!(
                 r.outcome,
@@ -411,7 +537,7 @@ mod tests {
     #[test]
     fn parity_on_bus_drop_recovers_via_nack() {
         let r = run(&spec(Org::Vr, FaultKind::BusDropTxn, true));
-        assert!(r.applied.is_some(), "the workload issues bus traffic");
+        assert!(r.any_applied(), "the workload issues bus traffic");
         assert_eq!(r.outcome, Outcome::DetectedRecovered, "{}", r.detail);
     }
 
@@ -431,6 +557,61 @@ mod tests {
         // Goodman has no write buffer at all.
         let r = run(&spec(Org::Goodman, FaultKind::WriteBufferDrop, true));
         assert_eq!(r.outcome, Outcome::NotApplicable);
-        assert!(r.applied.is_none());
+        assert!(!r.any_applied());
+    }
+
+    #[test]
+    fn secded_correction_is_classified_detected_corrected() {
+        let mut s = spec(Org::Vr, FaultKind::VDataBit, true);
+        s.protection = DataProtection::Secded;
+        let r = run(&s);
+        assert!(r.any_applied(), "a warm V-cache has data targets");
+        assert_eq!(r.outcome, Outcome::DetectedCorrected, "{}", r.detail);
+        assert!(r.corrections > 0);
+        assert!(r.detail.contains("corrected in place"));
+    }
+
+    #[test]
+    fn unprotected_data_bit_reaches_the_oracle() {
+        let r = run(&spec(Org::Vr, FaultKind::VDataBit, false));
+        assert!(r.any_applied());
+        // With no data protection the flipped word either surfaces as a
+        // stale read or is overwritten before anyone loads it.
+        assert!(
+            matches!(r.outcome, Outcome::Sdc | Outcome::Masked),
+            "{:?}: {}",
+            r.outcome,
+            r.detail
+        );
+    }
+
+    #[test]
+    fn pair_applies_both_faults_in_plan_order() {
+        let s = pair_spec(Org::Vr, FaultKind::VTagFlip, FaultKind::CohStateFlip, true);
+        let r = run(&s);
+        assert_eq!(r.applied.len(), 2);
+        assert!(r.applied[0].is_some(), "{}", r.detail);
+        assert!(r.applied[1].is_some(), "{}", r.detail);
+        assert!(r.detail.contains(" + "), "{}", r.detail);
+        let again = run(&s);
+        assert_eq!(r.outcome, again.outcome);
+        assert_eq!(r.detail, again.detail);
+    }
+
+    #[test]
+    fn pair_with_one_dead_fault_still_runs_the_other() {
+        // Goodman has no write buffer: the first fault cannot land, the
+        // second still must.
+        let s = pair_spec(
+            Org::Goodman,
+            FaultKind::WriteBufferDrop,
+            FaultKind::VTagFlip,
+            true,
+        );
+        let r = run(&s);
+        assert!(r.applied[0].is_none());
+        assert!(r.applied[1].is_some(), "{}", r.detail);
+        assert_ne!(r.outcome, Outcome::NotApplicable);
+        assert!(r.detail.contains("no target for write-buffer-drop"));
     }
 }

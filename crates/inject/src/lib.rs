@@ -12,10 +12,15 @@
 //! faults does the hierarchy mask, which does modeled parity detect and
 //! recover, and which reach silent data corruption?**
 //!
-//! A *campaign* sweeps the fault table ([`FaultKind::ALL`]) over every
-//! hierarchy organization and both parity settings, injecting each fault
-//! at a deterministic `(seed, access-index)` point of a fixed synthetic
-//! workload and replaying the run against the flat
+//! A *campaign* sweeps fault plans — a single fault per run, or an
+//! ordered **pair** of faults for the compositional campaigns — over
+//! every hierarchy organization and the protection axis (metadata
+//! parity off/on, and for plans touching the data arrays the
+//! [`DataProtection`](vrcache::config::DataProtection) scheme: none,
+//! per-word parity, or SECDED). Each fault is injected at a
+//! deterministic `(seed, access-index)` point of a synthetic workload
+//! (the default [`WorkloadShape`] or an entry of the pinned shape
+//! grid), and the run is replayed against the flat
 //! [`VersionOracle`](vrcache_bus::oracle::VersionOracle)/memory oracle.
 //! Each injection is classified ([`Outcome`]):
 //!
@@ -23,6 +28,8 @@
 //!   the corrupted state was dead or re-derived before use;
 //! * **detected-recovered** — parity (or a bus NACK) fired and the run
 //!   still completed with no stale read;
+//! * **detected-corrected** — SECDED corrected a flipped data bit in
+//!   place; the run completed with no stale read and no discard;
 //! * **detected-fatal** — the fault was noticed but the run could not
 //!   continue correctly: a machine check, a panic, or a stale read
 //!   *after* detection (fails loudly, never silently);
@@ -33,12 +40,14 @@
 //!
 //! The report (`target/injection-report.txt`) is byte-deterministic:
 //! two consecutive runs of the same campaign on the same build are
-//! identical. The SDC set with parity **off** is pinned in
-//! `crates/inject/baseline.txt` (every entry a reviewed, explained
-//! corruption route); the `injection-baseline` lint in
-//! `vrcache-analysis` and this crate's own exit status keep it honest.
-//! With parity **on** the expected SDC set is empty — any parity-on SDC
-//! fails the run unconditionally.
+//! identical for any `--jobs` value. The SDC set with parity **off**
+//! on the pinned shapes is allowlisted in `crates/inject/baseline.txt`
+//! (every entry a reviewed, explained corruption route); the
+//! `injection-baseline` lint in `vrcache-analysis` and this crate's own
+//! exit status keep it honest. With protection **on** the expected SDC
+//! set is empty — for single faults *and* for every ordered pair: a
+//! pair of individually contained faults must stay contained, and any
+//! protection-on SDC fails the run unconditionally.
 //!
 //! [`FaultKind::ALL`]: vrcache::fault::FaultKind::ALL
 
@@ -50,9 +59,12 @@ pub mod harness;
 pub mod report;
 pub mod workload;
 
-pub use campaign::{Campaign, CampaignResult, Org, RowProgress, Spec};
+pub use campaign::{
+    id_shape, shape_is_pinned, Campaign, CampaignResult, Org, PlannedFault, RowProgress, Spec,
+    SHAPE_GRID,
+};
 pub use harness::{Outcome, RunResult};
-pub use workload::WorkloadShape;
+pub use workload::{ShapeError, WorkloadShape};
 
 /// Walks upward from `start` to the workspace root (the first directory
 /// whose `Cargo.toml` declares `[workspace]`).

@@ -38,14 +38,12 @@ pub fn render(result: &CampaignResult) -> String {
 mod tests {
     use super::*;
     use crate::campaign::Campaign;
-    use crate::workload::WorkloadShape;
 
     #[test]
     fn report_is_sorted_and_deterministic() {
         let campaign = Campaign::smoke();
-        let shape = WorkloadShape::default();
-        let a = render(&campaign.run("vr/v-state-flip", 1, &shape, |_| {}));
-        let b = render(&campaign.run("vr/v-state-flip", 2, &shape, |_| {}));
+        let a = render(&campaign.run("vr/v-state-flip", 1, |_| {}));
+        let b = render(&campaign.run("vr/v-state-flip", 2, |_| {}));
         assert_eq!(a, b, "same campaign, same bytes for any worker count");
         let rows: Vec<&str> = a.lines().filter(|l| !l.starts_with('#')).collect();
         assert_eq!(rows.len(), 2);
@@ -53,5 +51,20 @@ mod tests {
         sorted.sort();
         assert_eq!(rows, sorted);
         assert!(a.starts_with("# injection campaign: smoke\n# runs: 2\n"));
+    }
+
+    #[test]
+    fn pairs_smoke_report_is_byte_identical_across_worker_counts() {
+        // The compositional campaign must render the same bytes for any
+        // worker count — the CI report diff depends on it. One
+        // organization keeps the debug-build cost bounded; the pool
+        // partitioning it exercises is identical for the full sweep.
+        let campaign = Campaign::pairs_smoke();
+        let sequential = render(&campaign.run("vr/", 1, |_| {}));
+        for jobs in [2, 8] {
+            let parallel = render(&campaign.run("vr/", jobs, |_| {}));
+            assert_eq!(sequential, parallel, "jobs={jobs}");
+        }
+        assert!(sequential.contains("vr/v-tag-flip+coh-state-flip/pt0+1/s1/par=on"));
     }
 }

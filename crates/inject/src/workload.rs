@@ -56,28 +56,68 @@ impl Default for WorkloadShape {
     }
 }
 
+/// A rejected [`WorkloadShape`]: which knob was out of range and what
+/// value it held. Typed so callers can branch on the rejection (and
+/// tests can assert the exact path) instead of string-matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeError {
+    /// `pages` outside `1..=16` — zero is a degenerate workload and
+    /// larger values collide with the synonym-alias window.
+    PagesOutOfRange {
+        /// The rejected value.
+        got: u64,
+    },
+    /// `half_refs == 0`: an empty main phase exercises nothing.
+    ZeroRefs,
+    /// `beat_period == 0`: the sharing-beat modulus would divide by
+    /// zero.
+    ZeroBeatPeriod,
+}
+
+impl core::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShapeError::PagesOutOfRange { got } => write!(
+                f,
+                "--pages must be in 1..=16 (got {got}): canonical page names must stay \
+                 below the 0x20000 synonym-alias window"
+            ),
+            ShapeError::ZeroRefs => f.write_str("--refs must be at least 1"),
+            ShapeError::ZeroBeatPeriod => f.write_str("--beat-period must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
 impl WorkloadShape {
     /// Whether this is the baseline-pinned default shape.
     pub fn is_default(&self) -> bool {
         *self == WorkloadShape::default()
     }
 
-    /// Validates the knobs, returning a usage-style message on error.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`ShapeError`] for the first out-of-range
+    /// knob.
+    pub fn validate(&self) -> Result<(), ShapeError> {
         if !(1..=16).contains(&self.pages) {
-            return Err(format!(
-                "--pages must be in 1..=16 (got {}): canonical page names must stay \
-                 below the 0x20000 synonym-alias window",
-                self.pages
-            ));
+            return Err(ShapeError::PagesOutOfRange { got: self.pages });
         }
         if self.half_refs == 0 {
-            return Err("--refs must be at least 1".to_string());
+            return Err(ShapeError::ZeroRefs);
         }
         if self.beat_period == 0 {
-            return Err("--beat-period must be at least 1".to_string());
+            return Err(ShapeError::ZeroBeatPeriod);
         }
         Ok(())
+    }
+
+    /// Compact `<pages>x<refs>x<beat>` form used in shape-keyed run ids.
+    pub fn id_suffix(&self) -> String {
+        format!("{}x{}x{}", self.pages, self.half_refs, self.beat_period)
     }
 
     /// Iterations of each half that carry a sharing beat. The default
@@ -270,29 +310,57 @@ mod tests {
     }
 
     #[test]
-    fn shape_validation_rejects_bad_knobs() {
-        for bad in [
-            WorkloadShape {
-                pages: 0,
-                ..WorkloadShape::default()
-            },
-            WorkloadShape {
-                pages: 17,
-                ..WorkloadShape::default()
-            },
-            WorkloadShape {
-                half_refs: 0,
-                ..WorkloadShape::default()
-            },
-            WorkloadShape {
-                beat_period: 0,
-                ..WorkloadShape::default()
-            },
+    fn shape_validation_rejects_bad_knobs_with_typed_errors() {
+        for (bad, expected) in [
+            (
+                WorkloadShape {
+                    pages: 0,
+                    ..WorkloadShape::default()
+                },
+                ShapeError::PagesOutOfRange { got: 0 },
+            ),
+            (
+                WorkloadShape {
+                    pages: 17,
+                    ..WorkloadShape::default()
+                },
+                ShapeError::PagesOutOfRange { got: 17 },
+            ),
+            (
+                WorkloadShape {
+                    half_refs: 0,
+                    ..WorkloadShape::default()
+                },
+                ShapeError::ZeroRefs,
+            ),
+            (
+                WorkloadShape {
+                    beat_period: 0,
+                    ..WorkloadShape::default()
+                },
+                ShapeError::ZeroBeatPeriod,
+            ),
         ] {
-            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+            assert_eq!(bad.validate(), Err(expected), "{bad:?}");
         }
         WorkloadShape::default()
             .validate()
             .expect("default is valid");
+    }
+
+    #[test]
+    fn shape_error_messages_name_the_flag() {
+        assert!(ShapeError::PagesOutOfRange { got: 99 }
+            .to_string()
+            .contains("--pages must be in 1..=16 (got 99)"));
+        assert!(ShapeError::ZeroRefs.to_string().contains("--refs"));
+        assert!(ShapeError::ZeroBeatPeriod
+            .to_string()
+            .contains("--beat-period"));
+    }
+
+    #[test]
+    fn id_suffix_is_compact() {
+        assert_eq!(WorkloadShape::default().id_suffix(), "8x110x16");
     }
 }

@@ -55,11 +55,15 @@ if [[ "${MUTATE:-0}" == "1" ]]; then
   cargo run -q --release -p vrcache-mutate -- --suite smoke --jobs "$JOBS"
 fi
 
-# Opt-in: INJECT=1 runs the fault-injection smoke campaign (104 runs,
-# well under a minute in release). The full sweep is `--campaign full`.
+# Opt-in: INJECT=1 runs the fault-injection smoke campaigns: the
+# single-fault sweep (128 runs) and the compositional pair sweep
+# (264 runs), both well under a minute in release. The nightly matrix
+# is `--campaign nightly`.
 if [[ "${INJECT:-0}" == "1" ]]; then
   echo "==> fault-injection smoke campaign"
   cargo run -q --release -p vrcache-inject -- --campaign smoke --jobs "$JOBS"
+  echo "==> fault-injection pair-composition smoke campaign"
+  cargo run -q --release -p vrcache-inject -- --campaign pairs-smoke --jobs "$JOBS"
 fi
 
 echo "All checks passed."
